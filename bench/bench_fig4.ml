@@ -1,0 +1,54 @@
+(* Figure 4: throughput slowdown of Treaty's 2PC protocol alone — no
+   underlying storage — under YCSB 50R/50W (10 ops/tx, 1000 B values),
+   normalized to a native, non-secure 2PC.
+
+   Systems: Native 2PC (baseline), Native w/ Enc, Secure (SCONE) w/o Enc,
+   Secure (SCONE) w/ Enc. Paper: minimal encryption overhead natively;
+   1.8x for SCONE without encryption; 2x for SCONE with encryption. *)
+
+open Treaty_core
+module W = Treaty_workload
+module Enclave = Treaty_tee.Enclave
+
+let profiles =
+  [
+    ("Native 2PC", { Config.tee = Enclave.Native; encryption = false; authentication = false; stabilization = false });
+    ("Native w/ Enc", { Config.tee = Enclave.Native; encryption = true; authentication = false; stabilization = false });
+    ("Secure w/o Enc", { Config.tee = Enclave.Scone; encryption = false; authentication = false; stabilization = false });
+    ("Secure w/ Enc", { Config.tee = Enclave.Scone; encryption = true; authentication = false; stabilization = false });
+  ]
+
+let run () =
+  Common.section "Figure 4: 2PC protocol in isolation (no storage)";
+  (* Wide keyspace: the protocol benchmark must be CPU-bound, not
+     lock-bound. *)
+  let ycsb = { W.Ycsb.default with W.Ycsb.read_fraction = 0.5; n_keys = 50_000 } in
+  let clients = if !Common.full_mode then 300 else 120 in
+  Printf.printf "  YCSB 50R/50W, %d ops/tx, %dB values, %d clients, 3 nodes\n%!"
+    ycsb.W.Ycsb.ops_per_txn ycsb.W.Ycsb.value_size clients;
+  let results =
+    List.map
+      (fun (label, profile) ->
+        let r = ref None in
+        Common.run_sim (fun sim ->
+            r :=
+              Some
+                (Common.ycsb_result sim profile ~ycsb ~clients
+                   ~engine_overrides:(fun e ->
+                     {
+                       e with
+                       Treaty_storage.Engine.in_memory = true;
+                       group_commit = false;
+                       wait_commit_stable = false;
+                     })));
+        (label, Option.get !r))
+      profiles
+  in
+  let baseline = W.Driver.tps (snd (List.hd results)) in
+  List.iter
+    (fun (label, r) ->
+      Common.print_row ~label ~tps:(W.Driver.tps r) ~baseline_tps:baseline
+        ~mean_ms:(W.Driver.mean_ms r) ~p99:(W.Driver.p99_ms r))
+    results;
+  Common.expected
+    "Native w/ Enc ~1.0-1.1x, Secure w/o Enc ~1.8x, Secure w/ Enc ~2.0x"

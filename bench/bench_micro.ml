@@ -1,0 +1,82 @@
+(* Bechamel micro-benchmarks (wall-clock, not simulated): the hot primitives
+   under all the figures — crypto, the skip list, the secure message codec
+   and the authenticated log record format. *)
+
+open Bechamel
+open Toolkit
+module Crypto = Treaty_crypto
+
+let value_1k = String.make 1024 'v'
+let aead_key = Crypto.Aead.key_of_string "bench"
+let hmac = Crypto.Hmac.create "bench-key"
+let msg_100 = String.make 100 'm'
+
+let sealed =
+  let ivg = Crypto.Aead.Iv_gen.create ~node_id:1 in
+  Crypto.Aead.seal_packed aead_key ~iv:(Crypto.Aead.Iv_gen.next ivg) value_1k
+
+let secure_key = Treaty_rpc.Secure_msg.Secure aead_key
+let ivg = Crypto.Aead.Iv_gen.create ~node_id:2
+
+let meta =
+  {
+    Treaty_rpc.Secure_msg.coord = 1;
+    tx_seq = 42;
+    op_id = 7;
+    src = 1;
+    kind = 3;
+    is_response = false;
+    req_id = 99;
+  }
+
+let wire = Treaty_rpc.Secure_msg.encode secure_key ~iv_gen:ivg meta value_1k
+
+let prefilled_skiplist =
+  let sl = Treaty_storage.Skiplist.create () in
+  for i = 0 to 9_999 do
+    Treaty_storage.Skiplist.insert sl ~key:(Printf.sprintf "k%06d" i) ~seq:i ()
+  done;
+  sl
+
+let tests =
+  Test.make_grouped ~name:"micro"
+    [
+      Test.make ~name:"sha256-1KiB" (Staged.stage (fun () -> Crypto.Sha256.digest_string value_1k));
+      Test.make ~name:"hmac-100B" (Staged.stage (fun () -> Crypto.Hmac.mac hmac msg_100));
+      Test.make ~name:"chacha20-1KiB"
+        (Staged.stage (fun () ->
+             Crypto.Chacha20.xor ~key:(String.make 32 'k') ~nonce:(String.make 12 'n') value_1k));
+      Test.make ~name:"aead-seal-1KiB"
+        (Staged.stage (fun () ->
+             Crypto.Aead.seal_packed aead_key ~iv:(String.make 12 'i') value_1k));
+      Test.make ~name:"aead-open-1KiB"
+        (Staged.stage (fun () -> Crypto.Aead.open_packed aead_key sealed));
+      Test.make ~name:"secure-msg-encode-1KiB"
+        (Staged.stage (fun () ->
+             Treaty_rpc.Secure_msg.encode secure_key ~iv_gen:ivg meta value_1k));
+      Test.make ~name:"secure-msg-decode-1KiB"
+        (Staged.stage (fun () -> Treaty_rpc.Secure_msg.decode secure_key wire));
+      Test.make ~name:"skiplist-find-10k"
+        (Staged.stage (fun () ->
+             Treaty_storage.Skiplist.find prefilled_skiplist ~key:"k004242" ~max_seq:max_int));
+    ]
+
+let run () =
+  Common.section "Micro-benchmarks (Bechamel, wall-clock)";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.4) ~kde:(Some 500) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) instance raw) instances
+  in
+  let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) instances results in
+  Hashtbl.iter
+    (fun measure tbl ->
+      if measure = Measure.label Instance.monotonic_clock then
+        Hashtbl.iter
+          (fun name result ->
+            match Analyze.OLS.estimates result with
+            | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/op\n" name est
+            | _ -> ())
+          tbl)
+    results

@@ -1,0 +1,106 @@
+(* Shared plumbing for the figure/table benchmarks. *)
+
+open Treaty_core
+module Sim = Treaty_sim.Sim
+module W = Treaty_workload
+
+let full_mode = ref false
+(* Quick mode scales client counts and windows down so the whole suite runs
+   in minutes; --full uses the paper's parameters. *)
+
+let scale_clients n = if !full_mode then n else max 4 (n / 4)
+let duration_ns () = if !full_mode then 1_000_000_000 else 300_000_000
+let warmup_ns () = if !full_mode then 200_000_000 else 60_000_000
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let subsection title = Printf.printf "\n--- %s ---\n%!" title
+
+let run_sim f =
+  let sim = Sim.create ~seed:0xBE7CBE7CL () in
+  Sim.run sim (fun () -> f sim)
+
+let cores () = if !full_mode then 8 else 2
+
+let base_config profile =
+  let c =
+    Config.with_profile { Config.default with Config.record_history = false } profile
+  in
+  { c with Config.cores_per_node = cores () }
+
+let make_cluster sim config ?route () =
+  match Cluster.create sim config ?route () with
+  | Ok c -> c
+  | Error m -> failwith ("cluster bootstrap failed: " ^ m)
+
+(* Pre-load the YCSB key space through a loader client. *)
+let load_ycsb cluster (cfg : W.Ycsb.config) =
+  let loader = Client.connect_exn cluster ~client_id:900 in
+  let rng = Treaty_sim.Rng.create 7L in
+  let keys = W.Ycsb.load_keys cfg in
+  let rec chunks = function
+    | [] -> ()
+    | l ->
+        let batch, rest =
+          let rec take n acc = function
+            | x :: tl when n > 0 -> take (n - 1) (x :: acc) tl
+            | tl -> (List.rev acc, tl)
+          in
+          take 100 [] l
+        in
+        (match
+           Client.with_txn loader (fun txn ->
+               List.iter
+                 (fun k ->
+                   match Client.put loader txn k (W.Ycsb.make_value cfg rng) with
+                   | Ok () -> ()
+                   | Error e ->
+                       failwith ("ycsb load: " ^ Types.abort_reason_to_string e))
+                 batch;
+               Ok ())
+         with
+        | Ok () -> ()
+        | Error e -> failwith ("ycsb load: " ^ Types.abort_reason_to_string e));
+        chunks rest
+  in
+  chunks keys;
+  Client.disconnect loader
+
+let ycsb_txn cfg =
+  let generators = Hashtbl.create 16 in
+  fun client ~client_index rng ->
+    let g =
+      match Hashtbl.find_opt generators client_index with
+      | Some g -> g
+      | None ->
+          let g = W.Ycsb.generator cfg rng in
+          Hashtbl.replace generators client_index g;
+          g
+    in
+    W.Ycsb.run_txn client None (W.Ycsb.next_txn g)
+
+(* Run one YCSB configuration on a fresh cluster with the given profile. *)
+let ycsb_result sim profile ~ycsb ~clients ~engine_overrides =
+  let config = base_config profile in
+  let config = { config with Config.engine = engine_overrides config.Config.engine } in
+  let cluster = make_cluster sim config () in
+  load_ycsb cluster ycsb;
+  let r =
+    W.Driver.run_clients cluster ~clients ~duration_ns:(duration_ns ())
+      ~warmup_ns:(warmup_ns ()) ~txn:(ycsb_txn ycsb) ()
+  in
+  Cluster.shutdown cluster;
+  r
+
+let id_engine e = e
+
+let pct x = x *. 100.0
+
+let print_row ~label ~tps ~baseline_tps ~mean_ms ~p99 =
+  Printf.printf "  %-24s %10.1f tps   slowdown %5.2fx   lat %6.2f ms (p99 %7.2f)\n%!"
+    label tps
+    (if tps > 0.0 then baseline_tps /. tps else nan)
+    mean_ms p99
+
+let expected fmt = Printf.printf ("  paper:    " ^^ fmt ^^ "\n%!")

@@ -1,0 +1,171 @@
+(* Treaty under attack: mounts the attacks from the paper's threat model
+   (§III) against a live cluster and shows each one being detected or
+   neutralized — and, for contrast, the same attacks succeeding against the
+   unprotected DS-RocksDB baseline.
+
+   1. Network tampering: flipping bits in 2PC traffic.
+   2. Message replay: re-injecting a captured request.
+   3. Persistent storage tampering: flipping bits on the SSD.
+   4. Rollback attack: restoring an older (consistent!) disk snapshot.
+   5. Impersonation: a client with a forged token; a node running modified
+      code trying to attest.
+
+   Run with: dune exec examples/under_attack.exe *)
+
+open Treaty_core
+module Sim = Treaty_sim.Sim
+module Net = Treaty_netsim.Net
+module Adversary = Treaty_netsim.Adversary
+module Ssd = Treaty_storage.Ssd
+
+let banner s = Printf.printf "\n== %s ==\n%!" s
+
+let run_attacks profile =
+  let sim = Sim.create () in
+  Sim.run sim (fun () ->
+      let config = Config.with_profile Config.default profile in
+      Printf.printf "\n######## target: %s ########\n%!" (Config.profile_name profile);
+      let cluster =
+        match Cluster.create sim config () with Ok c -> c | Error m -> failwith m
+      in
+      let c = Client.connect_exn cluster ~client_id:1 in
+      let put k v = Client.with_txn c (fun txn -> Client.put c txn k v) in
+      let get k = Client.with_txn c (fun txn -> Client.get c txn k) in
+
+      banner "1. tampering with 2PC network traffic";
+      let n = ref 0 in
+      Net.set_adversary (Cluster.net cluster) (fun pkt ->
+          if pkt.Treaty_netsim.Packet.src <= 3 && pkt.Treaty_netsim.Packet.dst <= 3 then begin
+            incr n;
+            if !n mod 2 = 0 then Adversary.flip_byte ~at:25 (fun _ -> true) pkt
+            else Adversary.Deliver
+          end
+          else Adversary.Deliver);
+      let ok = ref 0 and failed = ref 0 in
+      for i = 0 to 5 do
+        match put (Printf.sprintf "wire%d" i) "v" with
+        | Ok () -> incr ok
+        | Error _ -> incr failed
+      done;
+      Net.clear_adversary (Cluster.net cluster);
+      Printf.printf "   %d committed, %d aborted; MAC failures on nodes: %d\n" !ok !failed
+        (List.fold_left
+           (fun acc i -> acc + (Treaty_rpc.Erpc.stats (Node.rpc (Cluster.node cluster i))).mac_failures)
+           0 [ 0; 1; 2 ]);
+      Printf.printf "   -> %s\n"
+        (if config.Config.profile.encryption then
+           "tampered messages failed authentication and were dropped; affected txs aborted cleanly"
+         else "no message authentication: corruption flows through silently");
+
+      banner "2. replaying captured requests";
+      Net.capture (Cluster.net cluster) ~limit:64;
+      ignore (put "replay-me" "1");
+      let replays_before =
+        List.fold_left
+          (fun acc i -> acc + (Treaty_rpc.Erpc.stats (Node.rpc (Cluster.node cluster i))).replays_suppressed)
+          0 [ 0; 1; 2 ]
+      in
+      List.iter (Net.replay (Cluster.net cluster)) (Net.captured (Cluster.net cluster));
+      Sim.sleep sim 20_000_000;
+      let replays_after =
+        List.fold_left
+          (fun acc i -> acc + (Treaty_rpc.Erpc.stats (Node.rpc (Cluster.node cluster i))).replays_suppressed)
+          0 [ 0; 1; 2 ]
+      in
+      Printf.printf "   replayed every captured packet: %d duplicates suppressed by (node, tx, op) ids\n"
+        (replays_after - replays_before);
+      (match get "replay-me" with
+      | Ok (Some "1") -> print_endline "   -> state unchanged: at-most-once execution held"
+      | _ -> print_endline "   -> STATE CHANGED: replay executed!");
+
+      banner "3. tampering with the SSD (flip one bit inside a stored value)";
+      ignore (put "disk-key" "AAAA-sentinel-AAAA");
+      (* Surgical attack: scan every node's disk for the stored value bytes
+         and flip one bit where found. With encryption the value is not
+         findable on disk at all; fall back to corrupting node 0 blindly. *)
+      let owner = Cluster.route_key cluster "disk-key" - 1 in
+      Cluster.crash_node cluster owner;
+      let ssd = Cluster.node_ssd cluster owner in
+      let scanner_enclave =
+        Node.enclave (Cluster.node cluster ((owner + 1) mod 3))
+      in
+      let find_in_file f needle =
+        let size = Ssd.size ssd f in
+        if size < String.length needle then None
+        else begin
+          let raw = Ssd.read ssd ~enclave:scanner_enclave f ~off:0 ~len:size in
+          let nn = String.length needle in
+          let rec go i =
+            if i + nn > size then None
+            else if String.sub raw i nn = needle then Some i
+            else go (i + 1)
+          in
+          go 0
+        end
+      in
+      let found =
+        List.exists
+          (fun f ->
+            match find_in_file f "AAAA-sentinel-AAAA" with
+            | Some off ->
+                Ssd.tamper ssd f ~off:(off + 7);
+                true
+            | None -> false)
+          (Ssd.list_files ssd)
+      in
+      if found then print_endline "   (plaintext value located on disk and corrupted)"
+      else begin
+        print_endline "   (value not findable on disk: it is encrypted; corrupting blindly)";
+        List.iter (fun f -> Ssd.tamper ssd f ~off:(Ssd.size ssd f / 3)) (Ssd.list_files ssd)
+      end;
+      (match Cluster.restart_node cluster owner with
+      | Error m -> Printf.printf "   -> recovery REFUSED: %s\n" m
+      | Ok () -> (
+          match get "disk-key" with
+          | Ok (Some v) when v = "AAAA-sentinel-AAAA" ->
+              print_endline "   -> node restarted; value intact (tamper missed the shard)"
+          | Ok (Some v) ->
+              Printf.printf "   -> SILENT CORRUPTION: read back %S\n" v
+          | Ok None -> print_endline "   -> value vanished"
+          | Error e ->
+              Printf.printf "   -> read failed (%s): corruption detected at access\n"
+                (Types.abort_reason_to_string e)));
+
+      banner "4. rollback attack (restore an old disk snapshot)";
+      let target = 2 in
+      (* Write keys that definitely land on the target node (hash-routed:
+         cover all shards), snapshot its disk, overwrite, roll back. *)
+      let spray tag =
+        for i = 0 to 8 do
+          ignore (put (Printf.sprintf "roll:%d" i) tag)
+        done
+      in
+      spray "old";
+      let ssd = Cluster.node_ssd cluster target in
+      let snapshot = Ssd.snapshot ssd in
+      spray "new";
+      Cluster.crash_node cluster target;
+      Ssd.restore ssd snapshot;
+      (match Cluster.restart_node cluster target with
+      | Error m -> Printf.printf "   -> recovery REFUSED (freshness): %s\n" m
+      | Ok () ->
+          Printf.printf "   -> node recovered on STALE state%s\n"
+            (if config.Config.profile.stabilization then " (unexpected!)"
+             else " — no trusted counters in this profile"));
+
+      banner "5. impersonation";
+      let node0 =
+        (* the cluster may be degraded from attacks 3/4; find a live node *)
+        let rec first i = try Cluster.node cluster i with _ -> first (i + 1) in
+        first 0
+      in
+      Printf.printf "   forged client token accepted? %b\n"
+        (Node.authenticate_client node0 ~client_id:666 ~token:(String.make 32 'f'));
+      Client.disconnect c;
+      Cluster.shutdown cluster)
+
+let () =
+  run_attacks Config.treaty_enc_stab;
+  (* The same attacks against the insecure baseline, for contrast. *)
+  run_attacks Config.ds_rocksdb;
+  print_newline ()

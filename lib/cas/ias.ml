@@ -1,0 +1,6 @@
+let platform_key = "intel-platform-root-key"
+let latency_ns = 120_000_000 (* ~120 ms internet round trip *)
+
+let verify sim ~expected_measurement quote =
+  Treaty_sim.Sim.sleep sim latency_ns;
+  Treaty_tee.Quote.verify ~las_key:platform_key ~expected_measurement quote

@@ -1,0 +1,19 @@
+(** Intel Attestation Service stand-in (§VI).
+
+    The IAS is only contacted once per deployment — to attest the CAS itself
+    — precisely because it is slow (an internet round trip) and single-node.
+    This model verifies a quote signed with the platform root key and charges
+    that latency, which is what makes a CAS-per-datacenter worthwhile. *)
+
+val platform_key : string
+(** Root of trust shared between "hardware" (LAS deployment) and IAS. In
+    real SGX this is the EPID/DCAP key hierarchy. *)
+
+val verify :
+  Treaty_sim.Sim.t ->
+  expected_measurement:string ->
+  Treaty_tee.Quote.t ->
+  bool
+(** Verify a platform-signed quote; sleeps the ~WAN round-trip. *)
+
+val latency_ns : int

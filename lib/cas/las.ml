@@ -1,0 +1,18 @@
+type t = { node_id : int; key : string; sim : Treaty_sim.Sim.t }
+
+let deploy sim ~node_id =
+  {
+    node_id;
+    key = Treaty_crypto.Sha256.digest_string (Printf.sprintf "las-key:%d" node_id);
+    sim;
+  }
+
+let node_id t = t.node_id
+let signing_key t = t.key
+
+let quote t enclave ~report_data =
+  (* Local attestation: cheap compared to IAS, but not free. *)
+  Treaty_sim.Sim.sleep t.sim 200_000;
+  Treaty_tee.Quote.sign ~las_key:t.key
+    ~measurement:(Treaty_tee.Enclave.measurement enclave)
+    ~report_data

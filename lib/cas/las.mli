@@ -1,0 +1,18 @@
+(** Local Attestation Service (§VI).
+
+    "The LAS replaces the Quoting Enclave, collecting and signing quotes for
+    all Treaty instances running on the node." One LAS runs per machine; it
+    is itself attested by the CAS over IAS at deployment, which establishes
+    the per-LAS signing key the CAS will accept quotes under. *)
+
+type t
+
+val deploy : Treaty_sim.Sim.t -> node_id:int -> t
+(** Install a LAS on a node. (In the bootstrap flow the CAS verifies this
+    deployment over IAS; see {!Cas.deploy_las}.) *)
+
+val node_id : t -> int
+val signing_key : t -> string
+
+val quote : t -> Treaty_tee.Enclave.t -> report_data:string -> Treaty_tee.Quote.t
+(** Sign a quote for an enclave running on this node. *)

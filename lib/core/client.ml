@@ -1,0 +1,224 @@
+module Sim = Treaty_sim.Sim
+module Enclave = Treaty_tee.Enclave
+module Erpc = Treaty_rpc.Erpc
+module Secure_msg = Treaty_rpc.Secure_msg
+module Mempool = Treaty_memalloc.Mempool
+module Net = Treaty_netsim.Net
+module Keys = Treaty_crypto.Keys
+module Wire = Treaty_util.Wire
+
+type t = {
+  sim : Sim.t;
+  rpc : Erpc.t;
+  client_id : int;
+  token : string;
+  nodes : int array;
+  mutable rr : int;
+  op_timeout : int;
+}
+
+type txn = { t_coord : int; t_seq : int }
+
+let client_id t = t.client_id
+let coordinator txn = txn.t_coord
+let tx_seq txn = txn.t_seq
+
+let register_with t node =
+  let b = Buffer.create 64 in
+  Wire.w64 b t.client_id;
+  Wire.wstr b t.token;
+  match Erpc.call t.rpc ~dst:node ~kind:Node.k_client_register (Buffer.contents b) with
+  | Ok reply -> String.length reply = 1 && reply.[0] = '\000'
+  | Error (`Timeout | `Tampered) -> false
+
+let connect cluster ~client_id =
+  let sim = Cluster.sim cluster in
+  let config = Cluster.config cluster in
+  match Cluster.client_token cluster ~client_id with
+  | Error `Cas_down -> Error `Cas_down
+  | Ok token ->
+      let enclave =
+        (* Clients run on their own trusted machines, outside SGX. *)
+        Enclave.create sim ~mode:Enclave.Native ~cost:config.cost ~cores:4
+          ~node_id:(1000 + client_id) ~code_identity:"treaty-client"
+      in
+      let pool = Mempool.create enclave in
+      let security =
+        if config.profile.encryption then
+          Secure_msg.Secure (Keys.network_key (Cluster.master cluster))
+        else Secure_msg.Plain
+      in
+      let rpc =
+        Erpc.create sim ~net:(Cluster.net cluster) ~enclave ~pool
+          ~config:
+            {
+              (Erpc.default_config ~security) with
+              Erpc.timeout_ns = config.client_op_timeout_ns;
+            }
+          ~node_id:(1000 + client_id) ~net_config:Net.client_config ()
+      in
+      let t =
+        {
+          sim;
+          rpc;
+          client_id;
+          token;
+          nodes = Array.of_list (Cluster.node_ids cluster);
+          rr = client_id;
+          op_timeout = config.client_op_timeout_ns;
+        }
+      in
+      let all_registered = Array.for_all (register_with t) t.nodes in
+      if all_registered then Ok t
+      else begin
+        Erpc.shutdown rpc;
+        Error `Auth_failed
+      end
+
+let connect_exn cluster ~client_id =
+  match connect cluster ~client_id with
+  | Ok t -> t
+  | Error `Auth_failed -> failwith "client authentication failed"
+  | Error `Cas_down -> failwith "CAS down"
+
+let pick_coord t =
+  t.rr <- t.rr + 1;
+  t.nodes.(t.rr mod Array.length t.nodes)
+
+let rec begin_attempt t ~retry coord =
+  let b = Buffer.create 8 in
+  Wire.w64 b t.client_id;
+  match
+    Erpc.call t.rpc ~dst:coord ~kind:Node.k_client_begin
+      ~timeout_ns:t.op_timeout (Buffer.contents b)
+  with
+  | Error (`Timeout | `Tampered) -> Error Types.Participant_failed
+  | Ok reply -> (
+      let r = Wire.reader reply in
+      match Wire.r8 r with
+      | exception Wire.Malformed _ -> Error Types.Participant_failed
+      | 0 -> Ok { t_coord = coord; t_seq = Wire.r64 r }
+      | 3 ->
+          (* A restarted node has an empty client registry: re-register
+             (re-presenting the CAS token) and retry once. *)
+          if retry && register_with t coord then
+            begin_attempt t ~retry:false coord
+          else Error Types.Unauthenticated
+      | _ -> Error Types.Participant_failed)
+
+let begin_txn t ?coord () =
+  let coord = Option.value coord ~default:(pick_coord t) in
+  begin_attempt t ~retry:true coord
+
+let send_op t txn op =
+  let b = Buffer.create 64 in
+  Wire.w64 b t.client_id;
+  Wire.w64 b txn.t_seq;
+  (match op with
+  | `Get key ->
+      Wire.w8 b 0;
+      Wire.wstr b key
+  | `Put (key, value) ->
+      Wire.w8 b 1;
+      Wire.wstr b key;
+      Wire.wstr b value
+  | `Del key ->
+      Wire.w8 b 2;
+      Wire.wstr b key);
+  match
+    Erpc.call t.rpc ~dst:txn.t_coord ~kind:Node.k_client_op
+      ~timeout_ns:t.op_timeout (Buffer.contents b)
+  with
+  | Error (`Timeout | `Tampered) -> Error Types.Participant_failed
+  | Ok reply -> (
+      let r = Wire.reader reply in
+      match Wire.r8 r with
+      | exception Wire.Malformed _ -> Error Types.Participant_failed
+      | 0 ->
+          let value = if Wire.r8 r = 1 then Some (Wire.rstr r) else None in
+          Ok value
+      | 1 -> Error Types.Lock_timeout (* tx auto-aborted coordinator-side *)
+      | 2 -> Error Types.Rolled_back
+      | _ -> Error Types.Unauthenticated)
+
+let get t txn key = send_op t txn (`Get key)
+
+let scan t txn ~lo ~hi =
+  let b = Buffer.create 64 in
+  Wire.w64 b t.client_id;
+  Wire.w64 b txn.t_seq;
+  Wire.wstr b lo;
+  Wire.wstr b hi;
+  match
+    Erpc.call t.rpc ~dst:txn.t_coord ~kind:Node.k_client_scan
+      ~timeout_ns:t.op_timeout (Buffer.contents b)
+  with
+  | Error (`Timeout | `Tampered) -> Error Types.Participant_failed
+  | Ok reply -> (
+      let r = Wire.reader reply in
+      match Wire.r8 r with
+      | exception Wire.Malformed _ -> Error Types.Participant_failed
+      | 0 -> (
+          match
+            Wire.rlist r (fun r ->
+                let k = Wire.rstr r in
+                let v = Wire.rstr r in
+                (k, v))
+          with
+          | kvs -> Ok kvs
+          | exception Wire.Malformed _ -> Error Types.Participant_failed)
+      | 1 -> Error Types.Lock_timeout
+      | 2 -> Error Types.Rolled_back
+      | _ -> Error Types.Unauthenticated)
+
+let put t txn key value =
+  match send_op t txn (`Put (key, value)) with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+let delete t txn key =
+  match send_op t txn (`Del key) with Ok _ -> Ok () | Error e -> Error e
+
+let commit t txn =
+  let b = Buffer.create 16 in
+  Wire.w64 b t.client_id;
+  Wire.w64 b txn.t_seq;
+  match
+    Erpc.call t.rpc ~dst:txn.t_coord ~kind:Node.k_client_commit
+      ~timeout_ns:t.op_timeout (Buffer.contents b)
+  with
+  | Error (`Timeout | `Tampered) -> Error Types.Participant_failed
+  | Ok reply -> (
+      let r = Wire.reader reply in
+      match Wire.r8 r with
+      | exception Wire.Malformed _ -> Error Types.Participant_failed
+      | 0 -> Ok ()
+      | 1 -> (
+          match Wire.r8 r with
+          | 0 -> Error Types.Lock_timeout
+          | 1 -> Error Types.Validation_failed
+          | 2 -> Error Types.Participant_failed
+          | _ | (exception Wire.Malformed _) -> Error Types.Participant_failed)
+      | 2 -> Error Types.Rolled_back
+      | _ -> Error Types.Unauthenticated)
+
+let rollback t txn =
+  let b = Buffer.create 16 in
+  Wire.w64 b t.client_id;
+  Wire.w64 b txn.t_seq;
+  ignore
+    (Erpc.call t.rpc ~dst:txn.t_coord ~kind:Node.k_client_abort
+       ~timeout_ns:t.op_timeout (Buffer.contents b))
+
+let disconnect t = Erpc.shutdown t.rpc
+
+let with_txn t ?coord body =
+  match begin_txn t ?coord () with
+  | Error e -> Error e
+  | Ok txn -> (
+      match body txn with
+      | Ok v -> (
+          match commit t txn with Ok () -> Ok v | Error e -> Error e)
+      | Error e ->
+          rollback t txn;
+          Error e)

@@ -1,0 +1,49 @@
+(** Client library: the transactional API of §IV-A.
+
+    Clients authenticate with the CAS, register with the storage nodes over
+    the (1 GbE) client network, and then drive interactive transactions:
+    [begin_txn] picks a coordinator, [get]/[put]/[delete] execute operations
+    through it, and [commit]/[rollback] end the transaction. Any failed
+    operation aborts the whole transaction coordinator-side; the client sees
+    the abort reason. *)
+
+type t
+type txn
+
+val connect :
+  Cluster.t ->
+  client_id:int ->
+  (t, [ `Auth_failed | `Cas_down ]) result
+(** Obtain a token from the CAS and register with every node. Must run in a
+    fiber. *)
+
+val connect_exn : Cluster.t -> client_id:int -> t
+
+val client_id : t -> int
+
+val begin_txn : t -> ?coord:int -> unit -> txn Types.txn_result
+(** Start a transaction at a coordinator (wire node id; default:
+    round-robin over the nodes). *)
+
+val coordinator : txn -> int
+val tx_seq : txn -> int
+
+val get : t -> txn -> string -> string option Types.txn_result
+
+val scan : t -> txn -> lo:string -> hi:string -> (string * string) list Types.txn_result
+(** Snapshot-consistent range scan over the closed interval from [lo] to
+    [hi], across all shards, merged with the transaction's own writes. Under
+    2PL the returned keys are read-locked (no gap locks: phantoms are
+    possible). *)
+
+val put : t -> txn -> string -> string -> unit Types.txn_result
+val delete : t -> txn -> string -> unit Types.txn_result
+val commit : t -> txn -> unit Types.txn_result
+val rollback : t -> txn -> unit
+
+val disconnect : t -> unit
+
+val with_txn :
+  t -> ?coord:int -> (txn -> 'a Types.txn_result) -> 'a Types.txn_result
+(** Begin, run the body, commit on [Ok] (rolling back if the body failed).
+    No automatic retry — workloads decide their own retry policy. *)

@@ -1,0 +1,200 @@
+module Sim = Treaty_sim.Sim
+module Enclave = Treaty_tee.Enclave
+module Erpc = Treaty_rpc.Erpc
+module Secure_msg = Treaty_rpc.Secure_msg
+module Mempool = Treaty_memalloc.Mempool
+module Net = Treaty_netsim.Net
+module Ssd = Treaty_storage.Ssd
+module Cas = Treaty_cas.Cas
+module Las = Treaty_cas.Las
+module Keys = Treaty_crypto.Keys
+
+let cas_id = 90
+let code_identity = "treaty-node-v1"
+
+type slot = Live of Node.t | Crashed of Treaty_storage.Ssd.t
+
+type t = {
+  sim : Sim.t;
+  config : Config.t;
+  net : Net.t;
+  mutable cas : Cas.t option;
+  cas_las : (int, Las.t) Hashtbl.t;
+  nodes : slot array;
+  master : Keys.master;
+  master_secret : string;
+  route : string -> int;
+  history : Serializability.t option;
+}
+
+let sim t = t.sim
+let config t = t.config
+let net t = t.net
+let history t = t.history
+let master t = t.master
+
+let node t i =
+  match t.nodes.(i) with
+  | Live n -> n
+  | Crashed _ -> invalid_arg (Printf.sprintf "Cluster.node: node %d is crashed" i)
+
+let node_ids t =
+  let ids = ref [] in
+  Array.iteri
+    (fun i slot -> match slot with Live _ -> ids := (i + 1) :: !ids | Crashed _ -> ())
+    t.nodes;
+  List.rev !ids
+
+let n_nodes t = Array.length t.nodes
+let route_key t key = 1 + (t.route key mod Array.length t.nodes)
+
+let node_ssd t i =
+  match t.nodes.(i) with Live n -> Node.ssd n | Crashed ssd -> ssd
+
+let total_committed t =
+  Array.fold_left
+    (fun acc slot ->
+      match slot with Live n -> acc + (Node.stats n).committed | Crashed _ -> acc)
+    0 t.nodes
+
+let total_aborted t =
+  Array.fold_left
+    (fun acc slot ->
+      match slot with Live n -> acc + (Node.stats n).aborted | Crashed _ -> acc)
+    0 t.nodes
+
+(* A minimal plain endpoint used only during attestation, before the node
+   has any cluster secrets. Its network registration is replaced when the
+   real node endpoint comes up. *)
+let bootstrap_rpc t ~node_id =
+  let enclave =
+    Enclave.create t.sim ~mode:t.config.profile.tee ~cost:t.config.cost ~cores:2
+      ~node_id ~code_identity
+  in
+  let pool = Mempool.create enclave in
+  let config = Erpc.default_config ~security:Secure_msg.Plain in
+  (enclave, Erpc.create t.sim ~net:t.net ~enclave ~pool ~config ~node_id ())
+
+let attest_node t ~node_id =
+  let enclave, rpc = bootstrap_rpc t ~node_id in
+  let las =
+    match Hashtbl.find_opt t.cas_las node_id with
+    | Some las -> las
+    | None ->
+        let las = Las.deploy t.sim ~node_id in
+        Hashtbl.replace t.cas_las node_id las;
+        (match t.cas with Some cas -> Cas.deploy_las cas las | None -> ());
+        las
+  in
+  let result = Cas.Attest.run ~rpc ~enclave ~las ~cas_node:cas_id in
+  Erpc.shutdown rpc;
+  result
+
+let deps_of t ~node_id =
+  {
+    Node.sim = t.sim;
+    config = t.config;
+    net = t.net;
+    node_id;
+    peers = List.init (Array.length t.nodes) (fun i -> i + 1);
+    route = (fun key -> 1 + (t.route key mod Array.length t.nodes));
+    master = t.master;
+    history = t.history;
+  }
+
+let create sim config ?route () =
+  let route = Option.value route ~default:(fun key -> Hashtbl.hash key) in
+  let net = Net.create sim config.Config.cost in
+  let master_secret =
+    Printf.sprintf "cluster-master-%Ld" (Treaty_sim.Rng.next_int64 (Sim.rng sim))
+  in
+  let t =
+    {
+      sim;
+      config;
+      net;
+      cas = None;
+      cas_las = Hashtbl.create 8;
+      nodes = Array.init config.nodes (fun _ -> Crashed (Ssd.create sim config.cost));
+      master = Keys.master_of_secret master_secret;
+      master_secret;
+      route;
+      history = (if config.record_history then Some (Serializability.create ()) else None);
+    }
+  in
+  (* CAS bootstrap: its own enclave and endpoint, attested over IAS. *)
+  let cas_enclave =
+    Enclave.create sim ~mode:config.profile.tee ~cost:config.cost ~cores:2
+      ~node_id:cas_id ~code_identity:"treaty-cas-v1"
+  in
+  let cas_pool = Mempool.create cas_enclave in
+  let cas_rpc =
+    Erpc.create sim ~net ~enclave:cas_enclave ~pool:cas_pool
+      ~config:(Erpc.default_config ~security:Secure_msg.Plain)
+      ~node_id:cas_id ()
+  in
+  let expected_measurement = Treaty_crypto.Sha256.digest_string code_identity in
+  match
+    Cas.bootstrap ~rpc:cas_rpc ~enclave:cas_enclave ~master_secret
+      ~expected_measurement
+      ~config_blob:(Printf.sprintf "treaty-cluster;nodes=%d" config.nodes)
+  with
+  | Error `Ias_rejected -> Error "CAS attestation rejected by IAS"
+  | Ok cas -> (
+      t.cas <- Some cas;
+      (* Attest and start every storage node. *)
+      let failed = ref None in
+      for i = 0 to config.nodes - 1 do
+        if !failed = None then begin
+          let node_id = i + 1 in
+          match attest_node t ~node_id with
+          | Error `Rejected -> failed := Some "node attestation rejected"
+          | Error `Cas_unreachable -> failed := Some "CAS unreachable"
+          | Ok provision ->
+              if provision.Cas.Attest.master_secret <> master_secret then
+                failed := Some "provisioned secret mismatch"
+              else t.nodes.(i) <- Live (Node.create (deps_of t ~node_id))
+        end
+      done;
+      match !failed with Some m -> Error m | None -> Ok t)
+
+let client_token t ~client_id =
+  match t.cas with
+  | None -> Error `Cas_down
+  | Some cas -> Ok (Cas.register_client cas ~client_id)
+
+let crash_node t i =
+  match t.nodes.(i) with
+  | Live n -> t.nodes.(i) <- Crashed (Node.crash n)
+  | Crashed _ -> ()
+
+let restart_node t i =
+  match t.nodes.(i) with
+  | Live _ -> Ok ()
+  | Crashed ssd -> (
+      let node_id = i + 1 in
+      (* A recovering node must re-attest before it can obtain the cluster
+         secrets (§VI); a dead CAS therefore blocks recovery. *)
+      match attest_node t ~node_id with
+      | Error `Cas_unreachable -> Error "cannot recover: CAS unreachable"
+      | Error `Rejected -> Error "cannot recover: attestation rejected"
+      | Ok provision ->
+          if provision.Cas.Attest.master_secret <> t.master_secret then
+            Error "cannot recover: provisioned secret mismatch"
+          else (
+            match Node.recover_with (deps_of t ~node_id) ~ssd with
+            | Error m -> Error m
+            | Ok n ->
+                t.nodes.(i) <- Live n;
+                Ok ()))
+
+let crash_cas t =
+  match t.cas with
+  | Some cas ->
+      Cas.shutdown cas;
+      t.cas <- None
+  | None -> ()
+
+let shutdown t =
+  Array.iter (function Live n -> Node.stop n | Crashed _ -> ()) t.nodes;
+  crash_cas t

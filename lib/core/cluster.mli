@@ -1,0 +1,61 @@
+(** A Treaty deployment: CAS + storage nodes + shared fabric.
+
+    [create] runs the full §VI trust-establishment flow inside the calling
+    fiber: bootstrap the CAS (attested once over the slow IAS), deploy a LAS
+    on every machine, attest every Treaty instance through its LAS, and
+    provision the attested instances with the cluster secrets. Nodes then
+    form the trusted-counter protection group among themselves.
+
+    Node indexes are 0-based; the wire-level node ids are index+1, the CAS
+    sits at id 90, clients at 1000+. *)
+
+type t
+
+val create :
+  Treaty_sim.Sim.t ->
+  Config.t ->
+  ?route:(string -> int) ->
+  unit ->
+  (t, string) result
+(** [route] maps a key to a node index (default: hash). Must run in a fiber
+    ([Sim.run] context). *)
+
+val sim : t -> Treaty_sim.Sim.t
+val config : t -> Config.t
+val net : t -> Treaty_netsim.Net.t
+val node : t -> int -> Node.t
+(** By index; raises if the node is currently crashed. *)
+
+val node_ids : t -> int list
+(** Wire ids of live storage nodes. *)
+
+val n_nodes : t -> int
+val route_key : t -> string -> int
+(** Wire id of the node owning a key. *)
+
+val history : t -> Serializability.t option
+val master : t -> Treaty_crypto.Keys.master
+val cas_id : int
+
+val client_token : t -> client_id:int -> (string, [ `Cas_down ]) result
+(** Obtain a client auth token from the CAS (models the out-of-band client
+    registration). *)
+
+val crash_node : t -> int -> unit
+(** Power off a node: volatile state lost, SSD retained. *)
+
+val restart_node : t -> int -> (unit, string) result
+(** Re-attest to the CAS and run recovery. Fails if the CAS is down
+    ("in case CAS fails, crashed nodes cannot recover", §VI), if attestation
+    is rejected, or if the logs fail their integrity/freshness checks. *)
+
+val crash_cas : t -> unit
+
+val node_ssd : t -> int -> Treaty_storage.Ssd.t
+(** The node's persistent store — live or crashed — for adversary tests. *)
+
+val total_committed : t -> int
+val total_aborted : t -> int
+
+val shutdown : t -> unit
+(** Stop all nodes and the CAS so the simulation can drain. *)

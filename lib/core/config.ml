@@ -1,0 +1,81 @@
+module Enclave = Treaty_tee.Enclave
+
+type security_profile = {
+  tee : Enclave.mode;
+  encryption : bool;
+  authentication : bool;
+  stabilization : bool;
+}
+
+let ds_rocksdb =
+  { tee = Enclave.Native; encryption = false; authentication = false; stabilization = false }
+
+let native_treaty =
+  { tee = Enclave.Native; encryption = false; authentication = true; stabilization = false }
+
+let native_treaty_enc = { native_treaty with encryption = true }
+
+let treaty_no_enc =
+  { tee = Enclave.Scone; encryption = false; authentication = true; stabilization = false }
+
+let treaty_enc = { treaty_no_enc with encryption = true }
+let treaty_enc_stab = { treaty_enc with stabilization = true }
+
+let profile_name p =
+  match (p.tee, p.encryption, p.authentication, p.stabilization) with
+  | Enclave.Native, false, false, false -> "DS-RocksDB"
+  | Enclave.Native, false, true, false -> "Native Treaty"
+  | Enclave.Native, true, true, false -> "Native Treaty w/ Enc"
+  | Enclave.Scone, false, true, false -> "Treaty w/o Enc"
+  | Enclave.Scone, true, true, false -> "Treaty w/ Enc"
+  | Enclave.Scone, true, true, true -> "Treaty w/ Enc w/ Stab"
+  | Enclave.Native, _, _, _ -> "custom (native)"
+  | Enclave.Scone, _, _, _ -> "custom (scone)"
+
+type t = {
+  profile : security_profile;
+  nodes : int;
+  cores_per_node : int;
+  isolation : Types.isolation;
+  lock_shards : int;
+  lock_timeout_ns : int;
+  engine : Treaty_storage.Engine.config;
+  cost : Treaty_sim.Costmodel.t;
+  transport : Treaty_rpc.Transport.kind;
+  transport_params : Treaty_rpc.Transport.params;
+  rpc_timeout_ns : int;
+  client_op_timeout_ns : int;
+  record_history : bool;
+  naive_rpc_port : bool;
+  seed : int64;
+}
+
+let default =
+  {
+    profile = treaty_enc_stab;
+    nodes = 3;
+    cores_per_node = 8;
+    isolation = Types.Pessimistic;
+    lock_shards = 256;
+    lock_timeout_ns = 40_000_000;
+    engine = Treaty_storage.Engine.default_config;
+    cost = Treaty_sim.Costmodel.default;
+    transport = Treaty_rpc.Transport.Dpdk;
+    transport_params = Treaty_rpc.Transport.default_params;
+    rpc_timeout_ns = 120_000_000;
+    client_op_timeout_ns = 400_000_000;
+    record_history = false;
+    naive_rpc_port = false;
+    seed = 0xC0FFEEL;
+  }
+
+let with_profile t profile =
+  {
+    t with
+    profile;
+    engine =
+      {
+        t.engine with
+        Treaty_storage.Engine.wait_commit_stable = profile.stabilization;
+      };
+  }

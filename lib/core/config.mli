@@ -1,0 +1,56 @@
+(** Cluster configuration and the paper's baseline matrix.
+
+    One engine, six configurations — exactly the systems the evaluation
+    compares. A {!security_profile} fixes the TEE mode (native vs SCONE),
+    whether persistent data and messages are encrypted, whether they are
+    authenticated, and whether the stabilization protocol runs. *)
+
+type security_profile = {
+  tee : Treaty_tee.Enclave.mode;
+  encryption : bool;
+  authentication : bool;
+  stabilization : bool;
+}
+
+val ds_rocksdb : security_profile
+(** Native 2PC over plain RocksDB-like storage: the paper's baseline. *)
+
+val native_treaty : security_profile
+(** Treaty's code (auth checks) outside SGX, no encryption. *)
+
+val native_treaty_enc : security_profile
+
+(** SCONE, authenticated, unencrypted. *)
+val treaty_no_enc : security_profile
+
+val treaty_enc : security_profile
+
+(** The full system. *)
+val treaty_enc_stab : security_profile
+
+val profile_name : security_profile -> string
+
+type t = {
+  profile : security_profile;
+  nodes : int;
+  cores_per_node : int;
+  isolation : Types.isolation;
+  lock_shards : int;  (** "TREATY runs with a big number of shards" (§V-B). *)
+  lock_timeout_ns : int;
+  engine : Treaty_storage.Engine.config;
+  cost : Treaty_sim.Costmodel.t;
+  transport : Treaty_rpc.Transport.kind;
+  transport_params : Treaty_rpc.Transport.params;
+  rpc_timeout_ns : int;
+  client_op_timeout_ns : int;
+  record_history : bool;  (** Feed the serializability checker. *)
+  naive_rpc_port : bool;
+      (** Ablation: the unmodified eRPC-in-SCONE port — message buffers in
+          the EPC, rdtsc OCALLs on the hot path (§VII-A). *)
+  seed : int64;
+}
+
+val default : t
+val with_profile : t -> security_profile -> t
+(** Applies the profile, including the engine knobs it implies
+    (stabilization gating, commit-stability waits). *)

@@ -1,0 +1,209 @@
+module Engine = Treaty_storage.Engine
+module Memtable = Treaty_storage.Memtable
+module Op = Treaty_storage.Op
+module Enclave = Treaty_tee.Enclave
+
+type t = {
+  engine : Engine.t;
+  locks : Lock_table.t;
+  isolation : Types.isolation;
+  txid : Types.txid;
+  snapshot : int;
+  mutable write_list : (string * Op.t) list;  (* newest first *)
+  write_index : (string, Op.t) Hashtbl.t;
+  mutable reads : (string * int) list;
+  mutable buffer_bytes : int;
+  mutable installed_seq : int option;
+  mutable finished : bool;
+}
+
+let begin_ ~engine ~locks ~isolation ~tx =
+  let snapshot = Engine.snapshot engine in
+  Engine.retain_snapshot engine snapshot;
+  {
+    engine;
+    locks;
+    isolation;
+    txid = tx;
+    snapshot;
+    write_list = [];
+    write_index = Hashtbl.create 8;
+    reads = [];
+    buffer_bytes = 0;
+    installed_seq = None;
+    finished = false;
+  }
+
+let tx t = t.txid
+let snapshot t = t.snapshot
+
+let lock t key mode =
+  match t.isolation with
+  | Types.Pessimistic -> (
+      match Lock_table.acquire t.locks ~owner:t.txid ~key mode with
+      | Ok () -> Ok ()
+      | Error `Timeout -> Error `Timeout)
+  | Types.Optimistic -> Ok ()
+
+let buffer_write t key op =
+  (* Tx buffers live in enclave memory (§VII-D). *)
+  let bytes = String.length key + Op.size op + 32 in
+  t.buffer_bytes <- t.buffer_bytes + bytes;
+  Enclave.alloc_enclave (Treaty_storage.Sec.enclave (Engine.sec t.engine)) bytes;
+  (match Hashtbl.find_opt t.write_index key with
+  | Some _ -> t.write_list <- List.filter (fun (k, _) -> k <> key) t.write_list
+  | None -> ());
+  Hashtbl.replace t.write_index key op;
+  t.write_list <- (key, op) :: t.write_list
+
+let get_with_seq t key =
+  match Hashtbl.find_opt t.write_index key with
+  | Some (Op.Put v) -> Ok (Some v, 0) (* read-my-own-writes *)
+  | Some Op.Delete -> Ok (None, 0)
+  | None -> (
+      match lock t key Lock_table.Read with
+      | Error `Timeout -> Error `Timeout
+      | Ok () ->
+          (* Under 2PL the lock may have been waited on: read the freshest
+             committed version at grant time, not the begin-time snapshot —
+             reading stale data under a lock breaks serializability. OCC
+             reads at its snapshot and validates instead. *)
+          let read_snapshot =
+            match t.isolation with
+            | Types.Pessimistic -> Engine.snapshot t.engine
+            | Types.Optimistic -> t.snapshot
+          in
+          let lookup = Engine.get t.engine ~key ~snapshot:read_snapshot in
+          let seq_seen, value =
+            match lookup with
+            | Memtable.Found (seq, v) -> (seq, Some v)
+            | Memtable.Deleted seq -> (seq, None)
+            | Memtable.Not_found -> (0, None)
+          in
+          t.reads <- (key, seq_seen) :: t.reads;
+          Ok (value, seq_seen))
+
+let get t key =
+  match get_with_seq t key with Ok (v, _) -> Ok v | Error `Timeout -> Error `Timeout
+
+let scan t ~lo ~hi =
+  let snapshot =
+    match t.isolation with
+    | Types.Pessimistic -> Engine.snapshot t.engine
+    | Types.Optimistic -> t.snapshot
+  in
+  (* Discover the keys, then lock them, then re-read under the locks: a
+     writer may commit between discovery and lock grant, and 2PL semantics
+     require the returned values to be the locked (current) ones. *)
+  let discovered = Engine.scan t.engine ~lo ~hi ~snapshot in
+  let rec lock_all = function
+    | [] -> Ok ()
+    | (key, _) :: rest -> (
+        match lock t key Lock_table.Read with
+        | Ok () -> lock_all rest
+        | Error `Timeout -> Error `Timeout)
+  in
+  match lock_all discovered with
+  | Error `Timeout -> Error `Timeout
+  | Ok () ->
+      let read_snapshot =
+        match t.isolation with
+        | Types.Pessimistic -> Engine.snapshot t.engine
+        | Types.Optimistic -> t.snapshot
+      in
+      let committed =
+        List.filter_map
+          (fun (key, _) ->
+            match Engine.get t.engine ~key ~snapshot:read_snapshot with
+            | Memtable.Found (seq, v) ->
+                t.reads <- (key, seq) :: t.reads;
+                Some (key, v)
+            | Memtable.Deleted seq ->
+                t.reads <- (key, seq) :: t.reads;
+                None
+            | Memtable.Not_found ->
+                t.reads <- (key, 0) :: t.reads;
+                None)
+          discovered
+      in
+      (* Overlay the transaction's own writes in the range. *)
+      let mine =
+        Hashtbl.fold
+          (fun k op acc -> if k >= lo && k <= hi then (k, op) :: acc else acc)
+          t.write_index []
+      in
+      let result =
+        List.filter (fun (k, _) -> not (List.mem_assoc k mine)) committed
+        @ List.filter_map
+            (fun (k, op) -> match op with Op.Put v -> Some (k, v) | Op.Delete -> None)
+            mine
+      in
+      Ok (List.sort compare result)
+
+let put t key value =
+  match lock t key Lock_table.Write with
+  | Error `Timeout -> Error `Timeout
+  | Ok () ->
+      buffer_write t key (Op.Put value);
+      Ok ()
+
+let delete t key =
+  match lock t key Lock_table.Write with
+  | Error `Timeout -> Error `Timeout
+  | Ok () ->
+      buffer_write t key Op.Delete;
+      Ok ()
+
+let writes t = List.rev t.write_list
+let read_set t = List.rev t.reads
+
+let validate_reads t =
+  (* OCC: every key we read must still be at the version we saw. *)
+  List.for_all
+    (fun (key, seq_seen) ->
+      let current =
+        match Engine.get t.engine ~key ~snapshot:(Engine.snapshot t.engine) with
+        | Memtable.Found (seq, _) | Memtable.Deleted seq -> seq
+        | Memtable.Not_found -> 0
+      in
+      current = seq_seen)
+    t.reads
+
+let prepare t =
+  match t.isolation with
+  | Types.Pessimistic -> Ok ()
+  | Types.Optimistic ->
+      (* Lock the write set and the read set, then validate. The read locks
+         keep the validated versions current until the writes install —
+         without them a concurrent commit between validation and
+         installation breaks serializability. *)
+      let rec lock_keys mode = function
+        | [] -> Ok ()
+        | key :: rest -> (
+            match Lock_table.acquire t.locks ~owner:t.txid ~key mode with
+            | Ok () -> lock_keys mode rest
+            | Error `Timeout -> Error `Timeout)
+      in
+      (match lock_keys Lock_table.Write (List.map fst (writes t)) with
+      | Error `Timeout -> Error `Timeout
+      | Ok () -> (
+          match lock_keys Lock_table.Read (List.map fst t.reads) with
+          | Error `Timeout -> Error `Timeout
+          | Ok () -> if validate_reads t then Ok () else Error `Conflict))
+
+let set_installed_seq t seq = t.installed_seq <- Some seq
+
+let installed t =
+  match t.installed_seq with
+  | None -> []
+  | Some seq -> List.map (fun (k, _) -> (k, seq)) (writes t)
+
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    Engine.release_snapshot t.engine t.snapshot;
+    Lock_table.release_all t.locks ~owner:t.txid;
+    Enclave.free_enclave
+      (Treaty_storage.Sec.enclave (Engine.sec t.engine))
+      t.buffer_bytes
+  end

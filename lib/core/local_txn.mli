@@ -1,0 +1,64 @@
+(** Single-node transactions over the storage engine (§V-B).
+
+    Each Treaty node runs a transactional single-node KV engine; distributed
+    transactions "can then be viewed as the set of all participants' single
+    node Txs". A [Local_txn.t] is one node's slice of a transaction:
+
+    - {b pessimistic}: read/write locks are taken at access time (two-phase
+      locking); commit is trivially valid;
+    - {b optimistic}: accesses record the version sequence numbers they saw;
+      {!prepare} validates them against the freshest versions and takes
+      write locks only for the installation window.
+
+    Uncommitted writes are buffered in enclave memory (charged to the EPC, as
+    the paper's Tx buffers are, §VII-D) and are visible to the transaction's
+    own reads. *)
+
+type t
+
+val begin_ :
+  engine:Treaty_storage.Engine.t ->
+  locks:Lock_table.t ->
+  isolation:Types.isolation ->
+  tx:Types.txid ->
+  t
+
+val tx : t -> Types.txid
+val snapshot : t -> int
+
+val get : t -> string -> (string option, [ `Timeout ]) result
+(** Read-your-own-writes, then the engine at this transaction's snapshot. *)
+
+val get_with_seq : t -> string -> (string option * int, [ `Timeout ]) result
+(** Like {!get}, also returning the version sequence number observed (0 for
+    not-found or own-write reads). *)
+
+val scan : t -> lo:string -> hi:string -> ((string * string) list, [ `Timeout ]) result
+(** Snapshot-consistent range scan merged with the transaction's own
+    buffered writes; under 2PL every returned key is read-locked (committed
+    keys only — there is no gap locking, so phantoms are possible, as in
+    RocksDB's transactions). *)
+
+val put : t -> string -> string -> (unit, [ `Timeout ]) result
+val delete : t -> string -> (unit, [ `Timeout ]) result
+
+val writes : t -> (string * Treaty_storage.Op.t) list
+(** Buffered write set in application order. *)
+
+val read_set : t -> (string * int) list
+(** (key, version seq observed) — what OCC validates and the
+    serializability checker consumes. *)
+
+val prepare : t -> (unit, [ `Conflict | `Timeout ]) result
+(** Make the transaction commit-ready: validation + write locks under OCC, a
+    no-op check under 2PL. Does not touch the log — the caller decides
+    between local commit and distributed prepare. *)
+
+val finish : t -> unit
+(** Release locks and enclave buffers. Idempotent; called on commit and
+    abort alike. *)
+
+val installed : t -> (string * int) list
+(** (key, installed seq) after commit, for the history recorder. *)
+
+val set_installed_seq : t -> int -> unit

@@ -1,0 +1,161 @@
+module Sim = Treaty_sim.Sim
+module Enclave = Treaty_tee.Enclave
+
+type mode = Read | Write
+
+type waiter = {
+  wowner : Types.txid;
+  wmode : mode;
+  granted : unit Sim.ivar;
+}
+
+type lock = {
+  mutable writer : Types.txid option;
+  mutable readers : Types.txid list;
+  mutable waiters : waiter list;  (* FIFO: oldest first *)
+}
+
+type stats = {
+  mutable acquisitions : int;
+  mutable waits : int;
+  mutable timeouts : int;
+  mutable upgrades : int;
+}
+
+type t = {
+  sim : Sim.t;
+  enclave : Enclave.t;
+  shards : (string, lock) Hashtbl.t array;
+  owner_keys : (Types.txid, string list ref) Hashtbl.t;
+  timeout_ns : int;
+  stats : stats;
+}
+
+let create sim ~enclave ~shards ~timeout_ns =
+  {
+    sim;
+    enclave;
+    shards = Array.init (max 1 shards) (fun _ -> Hashtbl.create 64);
+    owner_keys = Hashtbl.create 64;
+    timeout_ns;
+    stats = { acquisitions = 0; waits = 0; timeouts = 0; upgrades = 0 };
+  }
+
+let stats t = t.stats
+
+let shard t key = t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+let lock_of t key =
+  let tbl = shard t key in
+  match Hashtbl.find_opt tbl key with
+  | Some l -> l
+  | None ->
+      let l = { writer = None; readers = []; waiters = [] } in
+      Hashtbl.replace tbl key l;
+      l
+
+let remember t owner key =
+  match Hashtbl.find_opt t.owner_keys owner with
+  | Some keys -> if not (List.mem key !keys) then keys := key :: !keys
+  | None -> Hashtbl.replace t.owner_keys owner (ref [ key ])
+
+(* Can [owner] be granted [mode] right now? *)
+let compatible l ~owner ~mode =
+  match mode with
+  | Read -> (
+      match l.writer with
+      | Some w -> w = owner (* reads under own write lock *)
+      | None -> true)
+  | Write -> (
+      match l.writer with
+      | Some w -> w = owner
+      | None -> (
+          match l.readers with
+          | [] -> true
+          | [ r ] -> r = owner (* sole-reader upgrade *)
+          | _ -> false))
+
+let grant l ~owner ~mode =
+  match mode with
+  | Read -> if not (List.mem owner l.readers) then l.readers <- owner :: l.readers
+  | Write ->
+      l.writer <- Some owner;
+      l.readers <- List.filter (fun r -> r <> owner) l.readers
+
+(* After a release, hand the lock to as many queued waiters as fit. *)
+let rec promote_waiters t key l =
+  match l.waiters with
+  | [] -> ()
+  | w :: rest ->
+      if compatible l ~owner:w.wowner ~mode:w.wmode then begin
+        l.waiters <- rest;
+        grant l ~owner:w.wowner ~mode:w.wmode;
+        remember t w.wowner key;
+        if Sim.try_fill w.granted () then promote_waiters t key l
+        else begin
+          (* The waiter timed out concurrently: undo the speculative grant. *)
+          (match w.wmode with
+          | Write -> if l.writer = Some w.wowner then l.writer <- None
+          | Read -> l.readers <- List.filter (fun r -> r <> w.wowner) l.readers);
+          promote_waiters t key l
+        end
+      end
+
+let acquire t ~owner ~key mode =
+  t.stats.acquisitions <- t.stats.acquisitions + 1;
+  Enclave.compute t.enclave 150;
+  let l = lock_of t key in
+  if compatible l ~owner ~mode then begin
+    if mode = Write && List.mem owner l.readers then t.stats.upgrades <- t.stats.upgrades + 1;
+    grant l ~owner ~mode;
+    remember t owner key;
+    Ok ()
+  end
+  else begin
+    t.stats.waits <- t.stats.waits + 1;
+    let w = { wowner = owner; wmode = mode; granted = Sim.ivar () } in
+    l.waiters <- l.waiters @ [ w ];
+    match Sim.read_timeout t.sim ~ns:t.timeout_ns w.granted with
+    | Some () -> Ok ()
+    | None ->
+        t.stats.timeouts <- t.stats.timeouts + 1;
+        l.waiters <- List.filter (fun w' -> w' != w) l.waiters;
+        (* Mark the ivar so a late promotion sees the timeout. *)
+        ignore (Sim.try_fill w.granted ());
+        Error `Timeout
+  end
+
+let release_all t ~owner =
+  match Hashtbl.find_opt t.owner_keys owner with
+  | None -> ()
+  | Some keys ->
+      Hashtbl.remove t.owner_keys owner;
+      List.iter
+        (fun key ->
+          let tbl = shard t key in
+          match Hashtbl.find_opt tbl key with
+          | None -> ()
+          | Some l ->
+              if l.writer = Some owner then l.writer <- None;
+              l.readers <- List.filter (fun r -> r <> owner) l.readers;
+              promote_waiters t key l;
+              if l.writer = None && l.readers = [] && l.waiters = [] then
+                Hashtbl.remove tbl key)
+        !keys
+
+let holds t ~owner ~key mode =
+  let tbl = shard t key in
+  match Hashtbl.find_opt tbl key with
+  | None -> false
+  | Some l -> (
+      match mode with
+      | Write -> l.writer = Some owner
+      | Read -> List.mem owner l.readers || l.writer = Some owner)
+
+let locked_keys t =
+  Array.fold_left
+    (fun acc tbl ->
+      Hashtbl.fold
+        (fun _ l acc -> if l.writer <> None || l.readers <> [] then acc + 1 else acc)
+        tbl acc)
+    0 t.shards

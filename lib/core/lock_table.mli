@@ -1,0 +1,37 @@
+(** Per-node key lock table (§V-B).
+
+    Read/write locks keyed by user key, divided across shards by key hash to
+    avoid a central bottleneck. Waiters queue FIFO per key; a transaction
+    that cannot acquire a lock within the timeout aborts with a timeout
+    error — the paper's deadlock-resolution strategy. Locks are reentrant
+    for their owner, and a sole reader may upgrade to writer. *)
+
+type t
+type mode = Read | Write
+
+type stats = {
+  mutable acquisitions : int;
+  mutable waits : int;  (** Acquisitions that had to block. *)
+  mutable timeouts : int;
+  mutable upgrades : int;
+}
+
+val create :
+  Treaty_sim.Sim.t ->
+  enclave:Treaty_tee.Enclave.t ->
+  shards:int ->
+  timeout_ns:int ->
+  t
+
+val stats : t -> stats
+
+val acquire :
+  t -> owner:Types.txid -> key:string -> mode -> (unit, [ `Timeout ]) result
+(** Block until granted or until the timeout elapses. *)
+
+val release_all : t -> owner:Types.txid -> unit
+(** Drop every lock the owner holds and hand them to waiters. *)
+
+val holds : t -> owner:Types.txid -> key:string -> mode -> bool
+val locked_keys : t -> int
+(** Number of keys with at least one holder (tests). *)

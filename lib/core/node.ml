@@ -1,0 +1,965 @@
+module Sim = Treaty_sim.Sim
+module Enclave = Treaty_tee.Enclave
+module Erpc = Treaty_rpc.Erpc
+module Secure_msg = Treaty_rpc.Secure_msg
+module Mempool = Treaty_memalloc.Mempool
+module Net = Treaty_netsim.Net
+module Engine = Treaty_storage.Engine
+module Ssd = Treaty_storage.Ssd
+module Sec = Treaty_storage.Sec
+module Op = Treaty_storage.Op
+module Clog_record = Treaty_storage.Clog_record
+module Rote = Treaty_counter.Rote
+module Counter_client = Treaty_counter.Counter_client
+module Keys = Treaty_crypto.Keys
+module Wire = Treaty_util.Wire
+module Latch = Treaty_sched.Scheduler.Latch
+
+let k_txn_op = 1
+let k_txn_scan = 6
+let k_prepare = 2
+let k_commit = 3
+let k_abort = 4
+let k_query_decision = 5
+let k_client_register = 10
+let k_client_begin = 11
+let k_client_op = 12
+let k_client_scan = 15
+let k_client_commit = 13
+let k_client_abort = 14
+
+type stats = {
+  mutable committed : int;
+  mutable aborted : int;
+  mutable distributed_committed : int;
+  mutable single_node_committed : int;
+  mutable remote_ops_served : int;
+  mutable decisions_queried : int;
+}
+
+type deps = {
+  sim : Sim.t;
+  config : Config.t;
+  net : Net.t;
+  node_id : int;
+  peers : int list;
+  route : string -> int;
+  master : Keys.master;
+  history : Serializability.t option;
+}
+
+type remote_slice = {
+  mutable r_written : string list;
+  mutable r_reads : (string * int) list;
+  mutable r_installed : int;
+}
+
+type coord_tx = {
+  ct_seq : int;
+  ct_client : int;
+  ct_local : Local_txn.t;
+  mutable ct_next_op : int;
+  ct_remote : (int, remote_slice) Hashtbl.t;
+  ct_started : int;
+}
+
+type t = {
+  deps : deps;
+  enclave : Enclave.t;
+  pool : Mempool.t;
+  rpc : Erpc.t;
+  ssd : Ssd.t;
+  sec : Sec.t;
+  mutable engine : Engine.t;
+  locks : Lock_table.t;
+  rote : Rote.replica;
+  counter_client : Counter_client.t option;
+  mutable next_tx_seq : int;
+  coord_txs : (int, coord_tx) Hashtbl.t;
+  part_txs : (int * int, Local_txn.t * int) Hashtbl.t;  (* ctx, created_at *)
+  decisions : (int, bool) Hashtbl.t;
+  clients : (int, unit) Hashtbl.t;
+  mutable alive : bool;
+  mutable recovering : bool;
+  stats : stats;
+}
+
+let node_id t = t.deps.node_id
+let stats t = t.stats
+let engine t = t.engine
+let rpc t = t.rpc
+let enclave t = t.enclave
+let ssd t = t.ssd
+let locks t = t.locks
+let rote t = t.rote
+let counter_client t = t.counter_client
+
+let fresh_stats () =
+  {
+    committed = 0;
+    aborted = 0;
+    distributed_committed = 0;
+    single_node_committed = 0;
+    remote_ops_served = 0;
+    decisions_queried = 0;
+  }
+
+(* --- wire codecs ------------------------------------------------------ *)
+
+type client_op = Cget of string | Cput of string * string | Cdel of string
+
+let encode_op b = function
+  | Cget key ->
+      Wire.w8 b 0;
+      Wire.wstr b key
+  | Cput (key, value) ->
+      Wire.w8 b 1;
+      Wire.wstr b key;
+      Wire.wstr b value
+  | Cdel key ->
+      Wire.w8 b 2;
+      Wire.wstr b key
+
+let decode_op r =
+  match Wire.r8 r with
+  | 0 -> Cget (Wire.rstr r)
+  | 1 ->
+      let key = Wire.rstr r in
+      let value = Wire.rstr r in
+      Cput (key, value)
+  | 2 -> Cdel (Wire.rstr r)
+  | n -> raise (Wire.Malformed (Printf.sprintf "bad op tag %d" n))
+
+let op_key = function Cget k | Cput (k, _) | Cdel k -> k
+let op_is_write = function Cget _ -> false | Cput _ | Cdel _ -> true
+
+(* Op replies: status 0 = ok, 1 = lock timeout, 2 = unknown tx, 3 = unauth. *)
+let ok_value_reply value seq =
+  let b = Buffer.create 32 in
+  Wire.w8 b 0;
+  (match value with
+  | Some v ->
+      Wire.w8 b 1;
+      Wire.wstr b v
+  | None -> Wire.w8 b 0);
+  Wire.w64 b seq;
+  Buffer.contents b
+
+let status_reply s =
+  let b = Buffer.create 1 in
+  Wire.w8 b s;
+  Buffer.contents b
+
+(* --- local transaction plumbing --------------------------------------- *)
+
+let local_txid t seq = { Types.coord = t.deps.node_id; seq }
+
+let begin_local t txid =
+  Local_txn.begin_ ~engine:t.engine ~locks:t.locks
+    ~isolation:t.deps.config.isolation ~tx:txid
+
+let exec_local ltx = function
+  | Cget key -> (
+      match Local_txn.get_with_seq ltx key with
+      | Ok (v, seq) -> Ok (v, seq)
+      | Error `Timeout -> Error `Timeout)
+  | Cput (key, value) -> (
+      match Local_txn.put ltx key value with
+      | Ok () -> Ok (None, 0)
+      | Error `Timeout -> Error `Timeout)
+  | Cdel key -> (
+      match Local_txn.delete ltx key with
+      | Ok () -> Ok (None, 0)
+      | Error `Timeout -> Error `Timeout)
+
+let namespaced node key = Printf.sprintf "n%d:%s" node key
+
+let record_history t ctx ~installed_local_seq =
+  match t.deps.history with
+  | None -> ()
+  | Some h ->
+      let self = t.deps.node_id in
+      let reads =
+        List.map (fun (k, s) -> (namespaced self k, s)) (Local_txn.read_set ctx.ct_local)
+        @ Hashtbl.fold
+            (fun node slice acc ->
+              List.map (fun (k, s) -> (namespaced node k, s)) slice.r_reads @ acc)
+            ctx.ct_remote []
+      in
+      let writes =
+        (match installed_local_seq with
+        | Some seq ->
+            List.map
+              (fun (k, _) -> (namespaced self k, seq))
+              (Local_txn.writes ctx.ct_local)
+        | None -> [])
+        @ Hashtbl.fold
+            (fun node slice acc ->
+              if slice.r_installed > 0 then
+                List.map (fun k -> (namespaced node k, slice.r_installed)) slice.r_written
+                @ acc
+              else acc)
+            ctx.ct_remote []
+      in
+      Serializability.record_commit h ~tx:(local_txid t ctx.ct_seq) ~reads ~writes
+
+(* --- participant side -------------------------------------------------- *)
+
+let part_ctx t ~coord ~tx_seq =
+  match Hashtbl.find_opt t.part_txs (coord, tx_seq) with
+  | Some (ctx, _) -> ctx
+  | None ->
+      let ctx = begin_local t { Types.coord; seq = tx_seq } in
+      Hashtbl.replace t.part_txs (coord, tx_seq) (ctx, Sim.now t.deps.sim);
+      ctx
+
+let handle_txn_op t (meta : Secure_msg.meta) payload =
+  t.stats.remote_ops_served <- t.stats.remote_ops_served + 1;
+  match decode_op (Wire.reader payload) with
+  | exception Wire.Malformed _ -> status_reply 2
+  | op -> (
+      let ctx = part_ctx t ~coord:meta.coord ~tx_seq:meta.tx_seq in
+      match exec_local ctx op with
+      | Ok (value, seq) -> ok_value_reply value seq
+      | Error `Timeout -> status_reply 1)
+
+let encode_scan_reply kvs =
+  let b = Buffer.create 256 in
+  Wire.w8 b 0;
+  Wire.wlist b
+    (fun b (k, v) ->
+      Wire.wstr b k;
+      Wire.wstr b v)
+    kvs;
+  Buffer.contents b
+
+let decode_scan_reply r =
+  Wire.rlist r (fun r ->
+      let k = Wire.rstr r in
+      let v = Wire.rstr r in
+      (k, v))
+
+let handle_txn_scan t (meta : Secure_msg.meta) payload =
+  t.stats.remote_ops_served <- t.stats.remote_ops_served + 1;
+  match
+    let r = Wire.reader payload in
+    let lo = Wire.rstr r in
+    let hi = Wire.rstr r in
+    (lo, hi)
+  with
+  | exception Wire.Malformed _ -> status_reply 2
+  | lo, hi -> (
+      let ctx = part_ctx t ~coord:meta.coord ~tx_seq:meta.tx_seq in
+      match Local_txn.scan ctx ~lo ~hi with
+      | Ok kvs -> encode_scan_reply kvs
+      | Error `Timeout -> status_reply 1)
+
+let finish_participant t ~coord ~tx_seq =
+  (match Hashtbl.find_opt t.part_txs (coord, tx_seq) with
+  | Some (ctx, _) ->
+      Local_txn.finish ctx;
+      Hashtbl.remove t.part_txs (coord, tx_seq)
+  | None ->
+      (* Recovered prepared txs hold locks under their txid without a ctx. *)
+      Lock_table.release_all t.locks ~owner:{ Types.coord; seq = tx_seq });
+  Erpc.forget_tx t.rpc ~coord ~tx_seq
+
+let handle_prepare t (meta : Secure_msg.meta) _payload =
+  match Hashtbl.find_opt t.part_txs (meta.coord, meta.tx_seq) with
+  | None -> status_reply 2
+  | Some (ctx, _) -> (
+      match Local_txn.prepare ctx with
+      | Error (`Conflict | `Timeout) -> status_reply 1
+      | Ok () ->
+          let writes = Local_txn.writes ctx in
+          if writes <> [] then
+            Engine.prepare t.engine ~tx:(meta.coord, meta.tx_seq) ~writes;
+          (* ACK carries the read versions for the coordinator's history. *)
+          let b = Buffer.create 64 in
+          Wire.w8 b 0;
+          Wire.wlist b
+            (fun b (k, s) ->
+              Wire.wstr b k;
+              Wire.w64 b s)
+            (Local_txn.read_set ctx);
+          Buffer.contents b)
+
+let handle_commit t (meta : Secure_msg.meta) _payload =
+  let installed = Engine.resolve t.engine ~tx:(meta.coord, meta.tx_seq) ~commit:true in
+  finish_participant t ~coord:meta.coord ~tx_seq:meta.tx_seq;
+  let b = Buffer.create 16 in
+  Wire.w8 b 0;
+  Wire.w64 b (Option.value ~default:0 installed);
+  Buffer.contents b
+
+let handle_abort t (meta : Secure_msg.meta) _payload =
+  ignore (Engine.resolve t.engine ~tx:(meta.coord, meta.tx_seq) ~commit:false);
+  finish_participant t ~coord:meta.coord ~tx_seq:meta.tx_seq;
+  status_reply 0
+
+let handle_query_decision t _meta payload =
+  t.stats.decisions_queried <- t.stats.decisions_queried + 1;
+  if t.recovering then "r"
+  else
+    match Wire.r64 (Wire.reader payload) with
+    | exception Wire.Malformed _ -> "u"
+    | tx_seq -> (
+        match Hashtbl.find_opt t.decisions tx_seq with
+        | Some true -> "c"
+        | Some false -> "a"
+        | None ->
+            (* Distinguish "still deciding" from "no memory of it": an
+               in-doubt participant may only abort on the latter. *)
+            if Hashtbl.mem t.coord_txs tx_seq then "p" else "u")
+
+(* --- coordinator side --------------------------------------------------- *)
+
+let alloc_tx_seq t =
+  t.next_tx_seq <- t.next_tx_seq + 1;
+  t.next_tx_seq
+
+let abort_remote t ctx =
+  let remotes = Hashtbl.fold (fun node _ acc -> node :: acc) ctx.ct_remote [] in
+  List.iter
+    (fun node ->
+      ignore
+        (Erpc.call t.rpc ~dst:node ~kind:k_abort ~coord:t.deps.node_id
+           ~tx_seq:ctx.ct_seq ~op_id:1_000_000 ""))
+    remotes
+
+let finish_coord t ctx =
+  Local_txn.finish ctx.ct_local;
+  Hashtbl.remove t.coord_txs ctx.ct_seq;
+  Erpc.forget_tx t.rpc ~coord:t.deps.node_id ~tx_seq:ctx.ct_seq
+
+let abort_tx t ctx =
+  t.stats.aborted <- t.stats.aborted + 1;
+  if Hashtbl.length ctx.ct_remote > 0 then abort_remote t ctx;
+  finish_coord t ctx
+
+let handle_client_begin t _meta payload =
+  let r = Wire.reader payload in
+  match Wire.r64 r with
+  | exception Wire.Malformed _ -> status_reply 3
+  | client_id ->
+      if not (Hashtbl.mem t.clients client_id) then status_reply 3
+      else begin
+        let seq = alloc_tx_seq t in
+        let ctx =
+          {
+            ct_seq = seq;
+            ct_client = client_id;
+            ct_local = begin_local t (local_txid t seq);
+            ct_next_op = 0;
+            ct_remote = Hashtbl.create 4;
+            ct_started = Sim.now t.deps.sim;
+          }
+        in
+        Hashtbl.replace t.coord_txs seq ctx;
+        let b = Buffer.create 16 in
+        Wire.w8 b 0;
+        Wire.w64 b seq;
+        Buffer.contents b
+      end
+
+let remote_slice ctx node =
+  match Hashtbl.find_opt ctx.ct_remote node with
+  | Some s -> s
+  | None ->
+      let s = { r_written = []; r_reads = []; r_installed = 0 } in
+      Hashtbl.replace ctx.ct_remote node s;
+      s
+
+(* Forward one op to the owning participant (Figure 2, steps 1-4). *)
+let forward_op t ctx ~owner op =
+  ctx.ct_next_op <- ctx.ct_next_op + 1;
+  let b = Buffer.create 64 in
+  encode_op b op;
+  match
+    Erpc.call t.rpc ~dst:owner ~kind:k_txn_op ~coord:t.deps.node_id
+      ~tx_seq:ctx.ct_seq ~op_id:ctx.ct_next_op
+      ~timeout_ns:t.deps.config.rpc_timeout_ns (Buffer.contents b)
+  with
+  | Error (`Timeout | `Tampered) -> Error `Participant
+  | Ok reply -> (
+      let r = Wire.reader reply in
+      match Wire.r8 r with
+      | exception Wire.Malformed _ -> Error `Participant
+      | 0 ->
+          let slice = remote_slice ctx owner in
+          let value =
+            if Wire.r8 r = 1 then Some (Wire.rstr r) else None
+          in
+          let _seq = Wire.r64 r in
+          (* Read versions are collected once, from the prepare ACK's
+             read_set; only the write-key routing is tracked per op. *)
+          if op_is_write op then slice.r_written <- op_key op :: slice.r_written;
+          Ok value
+      | 1 -> Error `Lock_timeout
+      | _ -> Error `Participant)
+
+let handle_client_op t _meta payload =
+  let r = Wire.reader payload in
+  match
+    let _client = Wire.r64 r in
+    let tx_seq = Wire.r64 r in
+    let op = decode_op r in
+    (tx_seq, op)
+  with
+  | exception Wire.Malformed _ -> status_reply 2
+  | tx_seq, op -> (
+      match Hashtbl.find_opt t.coord_txs tx_seq with
+      | None -> status_reply 2
+      | Some ctx -> (
+          let owner = t.deps.route (op_key op) in
+          let result =
+            if owner = t.deps.node_id then
+              match exec_local ctx.ct_local op with
+              | Ok (v, _) -> Ok v
+              | Error `Timeout -> Error `Lock_timeout
+            else forward_op t ctx ~owner op
+          in
+          match result with
+          | Ok value -> ok_value_reply value 0
+          | Error (`Lock_timeout | `Participant) ->
+              (* Failed op: the coordinator aborts the whole transaction. *)
+              abort_tx t ctx;
+              status_reply 1))
+
+let handle_client_scan t _meta payload =
+  let r = Wire.reader payload in
+  match
+    let _client = Wire.r64 r in
+    let tx_seq = Wire.r64 r in
+    let lo = Wire.rstr r in
+    let hi = Wire.rstr r in
+    (tx_seq, lo, hi)
+  with
+  | exception Wire.Malformed _ -> status_reply 2
+  | tx_seq, lo, hi -> (
+      match Hashtbl.find_opt t.coord_txs tx_seq with
+      | None -> status_reply 2
+      | Some ctx -> (
+          (* A range may span every shard: scan the local slice and fan the
+             request out to all peers as participants of this transaction. *)
+          let remotes = List.filter (fun n -> n <> t.deps.node_id) t.deps.peers in
+          let results = Hashtbl.create 8 in
+          let failed = ref false in
+          let latch = Latch.create (List.length remotes) in
+          List.iter
+            (fun node ->
+              Sim.spawn t.deps.sim (fun () ->
+                  ctx.ct_next_op <- ctx.ct_next_op + 1;
+                  let b = Buffer.create 64 in
+                  Wire.wstr b lo;
+                  Wire.wstr b hi;
+                  (match
+                     Erpc.call t.rpc ~dst:node ~kind:k_txn_scan
+                       ~coord:t.deps.node_id ~tx_seq:ctx.ct_seq
+                       ~op_id:ctx.ct_next_op
+                       ~timeout_ns:t.deps.config.rpc_timeout_ns
+                       (Buffer.contents b)
+                   with
+                  | Error (`Timeout | `Tampered) -> failed := true
+                  | Ok reply -> (
+                      let r = Wire.reader reply in
+                      match Wire.r8 r with
+                      | exception Wire.Malformed _ -> failed := true
+                      | 0 -> (
+                          (* Read versions reach the history via the
+                             participant's prepare-ACK read set; only the
+                             data comes back here. Touching the slice also
+                             marks the node as a 2PC participant. *)
+                          match decode_scan_reply r with
+                          | kvs ->
+                              Hashtbl.replace results node kvs;
+                              ignore (remote_slice ctx node)
+                          | exception Wire.Malformed _ -> failed := true)
+                      | _ -> failed := true));
+                  Latch.arrive latch))
+            remotes;
+          let local = Local_txn.scan ctx.ct_local ~lo ~hi in
+          Latch.wait (Sim.sched t.deps.sim) latch;
+          match (local, !failed) with
+          | Error `Timeout, _ | _, true ->
+              abort_tx t ctx;
+              status_reply 1
+          | Ok local_kvs, false ->
+              let all =
+                Hashtbl.fold (fun _ kvs acc -> kvs @ acc) results local_kvs
+              in
+              encode_scan_reply (List.sort compare all)))
+
+(* 2PC commit (Figure 2, steps 5-8). *)
+let commit_distributed t ctx =
+  let self = t.deps.node_id in
+  let remotes = Hashtbl.fold (fun node _ acc -> node :: acc) ctx.ct_remote [] in
+  (* Step 5: log the 2PC start with its own trusted counter value. *)
+  ignore
+    (Engine.clog_append t.engine
+       (Clog_record.Begin_2pc { tx_seq = ctx.ct_seq; participants = remotes }));
+  (* Prepare phase: all participants and the local slice, in parallel. *)
+  let results = Hashtbl.create 8 in
+  let latch = Latch.create (List.length remotes + 1) in
+  List.iter
+    (fun node ->
+      Sim.spawn t.deps.sim (fun () ->
+          let ok =
+            match
+              Erpc.call t.rpc ~dst:node ~kind:k_prepare ~coord:self
+                ~tx_seq:ctx.ct_seq ~op_id:999_998
+                ~timeout_ns:t.deps.config.rpc_timeout_ns ""
+            with
+            | Error (`Timeout | `Tampered) -> false
+            | Ok reply -> (
+                let r = Wire.reader reply in
+                match Wire.r8 r with
+                | exception Wire.Malformed _ -> false
+                | 0 ->
+                    (* Pick up the participant's read versions for history. *)
+                    (try
+                       let reads =
+                         Wire.rlist r (fun r ->
+                             let k = Wire.rstr r in
+                             let s = Wire.r64 r in
+                             (k, s))
+                       in
+                       let slice = remote_slice ctx node in
+                       slice.r_reads <- reads @ slice.r_reads
+                     with Wire.Malformed _ -> ());
+                    true
+                | _ -> false)
+          in
+          Hashtbl.replace results node ok;
+          Latch.arrive latch))
+    remotes;
+  Sim.spawn t.deps.sim (fun () ->
+      let ok =
+        match Local_txn.prepare ctx.ct_local with
+        | Error (`Conflict | `Timeout) -> false
+        | Ok () ->
+            let writes = Local_txn.writes ctx.ct_local in
+            if writes <> [] then
+              Engine.prepare t.engine ~tx:(self, ctx.ct_seq) ~writes;
+            true
+      in
+      Hashtbl.replace results self ok;
+      Latch.arrive latch);
+  Latch.wait (Sim.sched t.deps.sim) latch;
+  let all_ok = Hashtbl.fold (fun _ ok acc -> ok && acc) results true in
+  (* Steps 6-7: log and stabilize the decision before acting on it. *)
+  let decision_counter =
+    Engine.clog_append t.engine
+      (Clog_record.Decision { tx_seq = ctx.ct_seq; commit = all_ok })
+  in
+  Engine.clog_wait_stable t.engine ~counter:decision_counter;
+  Hashtbl.replace t.decisions ctx.ct_seq all_ok;
+  if all_ok then begin
+    (* Step 8: commit everywhere; no need to wait for stability to ack. *)
+    let latch = Latch.create (List.length remotes) in
+    List.iter
+      (fun node ->
+        Sim.spawn t.deps.sim (fun () ->
+            (match
+               Erpc.call t.rpc ~dst:node ~kind:k_commit ~coord:self
+                 ~tx_seq:ctx.ct_seq ~op_id:999_999
+                 ~timeout_ns:t.deps.config.rpc_timeout_ns ""
+             with
+            | Ok reply -> (
+                let r = Wire.reader reply in
+                match
+                  let _ = Wire.r8 r in
+                  Wire.r64 r
+                with
+                | seq -> (remote_slice ctx node).r_installed <- seq
+                | exception Wire.Malformed _ -> ())
+            | Error (`Timeout | `Tampered) ->
+                (* The decision is stable: the participant will learn it from
+                   the Clog-backed decision query at recovery. *)
+                ());
+            Latch.arrive latch))
+      remotes;
+    let installed_local =
+      Engine.resolve t.engine ~tx:(self, ctx.ct_seq) ~commit:true
+    in
+    Latch.wait (Sim.sched t.deps.sim) latch;
+    ignore (Engine.clog_append t.engine (Clog_record.Finished { tx_seq = ctx.ct_seq }));
+    record_history t ctx ~installed_local_seq:installed_local;
+    t.stats.committed <- t.stats.committed + 1;
+    t.stats.distributed_committed <- t.stats.distributed_committed + 1;
+    finish_coord t ctx;
+    Ok ()
+  end
+  else begin
+    abort_remote t ctx;
+    ignore (Engine.resolve t.engine ~tx:(self, ctx.ct_seq) ~commit:false);
+    ignore (Engine.clog_append t.engine (Clog_record.Finished { tx_seq = ctx.ct_seq }));
+    t.stats.aborted <- t.stats.aborted + 1;
+    finish_coord t ctx;
+    Error Types.Participant_failed
+  end
+
+let commit_single_node t ctx =
+  match Local_txn.prepare ctx.ct_local with
+  | Error `Conflict ->
+      abort_tx t ctx;
+      Error Types.Validation_failed
+  | Error `Timeout ->
+      abort_tx t ctx;
+      Error Types.Lock_timeout
+  | Ok () ->
+      let writes = Local_txn.writes ctx.ct_local in
+      let seq =
+        if writes = [] then None
+        else Some (Engine.commit t.engine ~writes)
+      in
+      (match seq with Some s -> Local_txn.set_installed_seq ctx.ct_local s | None -> ());
+      record_history t ctx ~installed_local_seq:seq;
+      t.stats.committed <- t.stats.committed + 1;
+      t.stats.single_node_committed <- t.stats.single_node_committed + 1;
+      finish_coord t ctx;
+      Ok ()
+
+let handle_client_commit t _meta payload =
+  let r = Wire.reader payload in
+  match
+    let _client = Wire.r64 r in
+    Wire.r64 r
+  with
+  | exception Wire.Malformed _ -> status_reply 2
+  | tx_seq -> (
+      match Hashtbl.find_opt t.coord_txs tx_seq with
+      | None -> status_reply 2
+      | Some ctx -> (
+          let result =
+            if Hashtbl.length ctx.ct_remote = 0 then commit_single_node t ctx
+            else commit_distributed t ctx
+          in
+          match result with
+          | Ok () -> status_reply 0
+          | Error reason ->
+              let b = Buffer.create 2 in
+              Wire.w8 b 1;
+              Wire.w8 b
+                (match reason with
+                | Types.Lock_timeout -> 0
+                | Types.Validation_failed -> 1
+                | Types.Participant_failed -> 2
+                | _ -> 3);
+              Buffer.contents b))
+
+let handle_client_abort t _meta payload =
+  let r = Wire.reader payload in
+  match
+    let _client = Wire.r64 r in
+    Wire.r64 r
+  with
+  | exception Wire.Malformed _ -> status_reply 2
+  | tx_seq -> (
+      match Hashtbl.find_opt t.coord_txs tx_seq with
+      | None -> status_reply 0 (* already gone *)
+      | Some ctx ->
+          abort_tx t ctx;
+          status_reply 0)
+
+let authenticate_client t ~client_id ~token =
+  let expected = Keys.client_token t.deps.master ~client_id in
+  let ok = Treaty_crypto.Hmac.equal_tags expected token in
+  if ok then Hashtbl.replace t.clients client_id ();
+  ok
+
+let handle_client_register t _meta payload =
+  let r = Wire.reader payload in
+  match
+    let client_id = Wire.r64 r in
+    let token = Wire.rstr r in
+    (client_id, token)
+  with
+  | exception Wire.Malformed _ -> status_reply 3
+  | client_id, token ->
+      if authenticate_client t ~client_id ~token then status_reply 0
+      else status_reply 3
+
+(* --- assembly ----------------------------------------------------------- *)
+
+let register_handlers t =
+  Erpc.register t.rpc ~kind:k_txn_op (handle_txn_op t);
+  Erpc.register t.rpc ~kind:k_prepare (handle_prepare t);
+  Erpc.register t.rpc ~kind:k_commit (handle_commit t);
+  Erpc.register t.rpc ~kind:k_abort (handle_abort t);
+  Erpc.register t.rpc ~kind:k_query_decision (handle_query_decision t);
+  Erpc.register t.rpc ~kind:k_client_register (handle_client_register t);
+  Erpc.register t.rpc ~kind:k_client_begin (handle_client_begin t);
+  Erpc.register t.rpc ~kind:k_client_op (handle_client_op t);
+  Erpc.register t.rpc ~kind:k_txn_scan (handle_txn_scan t);
+  Erpc.register t.rpc ~kind:k_client_scan (handle_client_scan t);
+  Erpc.register t.rpc ~kind:k_client_commit (handle_client_commit t);
+  Erpc.register t.rpc ~kind:k_client_abort (handle_client_abort t)
+
+(* Query a prepared transaction's coordinator and resolve it (cooperative
+   termination): "c"/"a" are authoritative; "u" means the coordinator has no
+   memory of the transaction, which — because the decision is stabilized
+   before any commit is sent — can only happen if no commit was ever issued,
+   so aborting is safe. "p"/"r" mean ask again later. *)
+let resolve_in_doubt t ~coord ~tx_seq =
+  let b = Buffer.create 8 in
+  Wire.w64 b tx_seq;
+  match
+    Erpc.call t.rpc ~dst:coord ~kind:k_query_decision
+      ~timeout_ns:20_000_000 (Buffer.contents b)
+  with
+  | Ok "c" ->
+      ignore (Engine.resolve t.engine ~tx:(coord, tx_seq) ~commit:true);
+      finish_participant t ~coord ~tx_seq
+  | Ok ("a" | "u") ->
+      ignore (Engine.resolve t.engine ~tx:(coord, tx_seq) ~commit:false);
+      finish_participant t ~coord ~tx_seq
+  | Ok _ | Error (`Timeout | `Tampered) -> ()
+
+(* Background hygiene: abort participant contexts whose coordinator went
+   silent before prepare (their locks must not block the key space), and
+   drive in-doubt *prepared* transactions to resolution by querying their
+   coordinators. *)
+let start_sweeper t =
+  Sim.spawn t.deps.sim (fun () ->
+      while t.alive do
+        Sim.sleep t.deps.sim 250_000_000;
+        if t.alive then begin
+          let now = Sim.now t.deps.sim in
+          let prepared = Engine.prepared_txs t.engine in
+          let stale, in_doubt =
+            Hashtbl.fold
+              (fun key (_, created) (stale, in_doubt) ->
+                let is_prepared = List.mem key prepared in
+                if is_prepared && now - created > 400_000_000 then
+                  (stale, key :: in_doubt)
+                else if (not is_prepared) && now - created > 1_000_000_000 then
+                  (key :: stale, in_doubt)
+                else (stale, in_doubt))
+              t.part_txs ([], [])
+          in
+          (* Prepared txs recovered without a live context age from recovery
+             time; resolve them too. *)
+          let orphaned =
+            List.filter (fun key -> not (Hashtbl.mem t.part_txs key)) prepared
+          in
+          List.iter
+            (fun (coord, tx_seq) -> finish_participant t ~coord ~tx_seq)
+            stale;
+          List.iter
+            (fun (coord, tx_seq) ->
+              Sim.spawn t.deps.sim (fun () ->
+                  if t.alive then resolve_in_doubt t ~coord ~tx_seq))
+            (in_doubt @ orphaned)
+        end
+      done)
+
+let build_parts (deps : deps) ssd =
+  let cfg = deps.config in
+  let enclave =
+    Enclave.create deps.sim ~mode:cfg.profile.tee ~cost:cfg.cost
+      ~cores:cfg.cores_per_node ~node_id:deps.node_id ~code_identity:"treaty-node-v1"
+  in
+  Enclave.install_secrets enclave deps.master;
+  let pool = Mempool.create enclave in
+  let security =
+    if cfg.profile.encryption then
+      Secure_msg.Secure (Keys.network_key deps.master)
+    else Secure_msg.Plain
+  in
+  let rpc_config =
+    {
+      (Erpc.default_config ~security) with
+      Erpc.transport = cfg.transport;
+      params = cfg.transport_params;
+      timeout_ns = cfg.rpc_timeout_ns;
+      msgbuf_region = (if cfg.naive_rpc_port then Mempool.Enclave else Mempool.Host);
+      rdtsc_ocalls = cfg.naive_rpc_port;
+    }
+  in
+  let rpc =
+    Erpc.create deps.sim ~net:deps.net ~enclave ~pool ~config:rpc_config
+      ~node_id:deps.node_id ()
+  in
+  let sec =
+    Sec.create ~enclave ~auth:cfg.profile.authentication
+      ~enc:
+        (if cfg.profile.encryption then
+           Some (Keys.storage_key deps.master ~node_id:deps.node_id)
+         else None)
+      ()
+  in
+  let locks =
+    Lock_table.create deps.sim ~enclave ~shards:cfg.lock_shards
+      ~timeout_ns:cfg.lock_timeout_ns
+  in
+  let rote = Rote.create_replica rpc ~group:deps.peers () in
+  let counter_client =
+    if cfg.profile.stabilization then
+      Some (Counter_client.create rote ~owner:deps.node_id)
+    else None
+  in
+  (enclave, pool, rpc, sec, locks, rote, counter_client, ssd)
+
+let stability_of counter_client =
+  match counter_client with
+  | None -> Engine.noop_stability
+  | Some cc ->
+      {
+        Engine.submit = (fun ~log ~counter -> Counter_client.submit cc ~log ~counter);
+        wait_stable =
+          (fun ~log ~counter -> Counter_client.wait_stable cc ~log ~counter);
+      }
+
+let assemble deps (enclave, pool, rpc, sec, locks, rote, counter_client, ssd) engine =
+  let t =
+    {
+      deps;
+      enclave;
+      pool;
+      rpc;
+      ssd;
+      sec;
+      engine;
+      locks;
+      rote;
+      counter_client;
+      next_tx_seq = 0;
+      coord_txs = Hashtbl.create 64;
+      part_txs = Hashtbl.create 64;
+      decisions = Hashtbl.create 256;
+      clients = Hashtbl.create 16;
+      alive = true;
+      recovering = false;
+      stats = fresh_stats ();
+    }
+  in
+  register_handlers t;
+  start_sweeper t;
+  t
+
+let create deps =
+  let ssd = Ssd.create deps.sim deps.config.cost in
+  let ((_, _, _, sec, _, _, counter_client, _) as parts) = build_parts deps ssd in
+  let engine =
+    Engine.create ssd sec deps.config.engine (stability_of counter_client)
+  in
+  assemble deps parts engine
+
+exception Recovery_unavailable of string
+
+let recover_with deps ~ssd =
+  let ((_, _, _, sec, _, _, counter_client, _) as parts) = build_parts deps ssd in
+  let trusted log =
+    match counter_client with
+    | None -> None
+    | Some cc -> (
+        match Counter_client.trusted_for_recovery cc ~log with
+        | Ok v -> Some v
+        | Error `No_quorum ->
+            raise (Recovery_unavailable "trusted counter group unreachable"))
+  in
+  match
+    Engine.recover ssd sec deps.config.engine (stability_of counter_client) ~trusted
+  with
+  | exception Recovery_unavailable m -> Error m
+  | Error m -> Error m
+  | Ok (eng, info) ->
+      let t = assemble deps parts eng in
+      t.recovering <- true;
+      (* Coordinator-side recovery from the Clog: finish decided txs, abort
+         undecided ones (§VI). *)
+      let begun = Hashtbl.create 16 in
+      let decided = Hashtbl.create 16 in
+      let finished = Hashtbl.create 16 in
+      let max_seq = ref 0 in
+      List.iter
+        (fun (_, record) ->
+          match record with
+          | Clog_record.Begin_2pc { tx_seq; participants } ->
+              max_seq := max !max_seq tx_seq;
+              Hashtbl.replace begun tx_seq participants
+          | Clog_record.Decision { tx_seq; commit } ->
+              max_seq := max !max_seq tx_seq;
+              Hashtbl.replace decided tx_seq commit
+          | Clog_record.Finished { tx_seq } -> Hashtbl.replace finished tx_seq ())
+        info.Engine.clog_records;
+      (* New incarnation: leave a wide gap so txids never collide with stale
+         dedup state on peers. *)
+      t.next_tx_seq <- !max_seq + 1_000_000;
+      Hashtbl.iter (fun seq commit -> Hashtbl.replace t.decisions seq commit) decided;
+      let unfinished =
+        Hashtbl.fold
+          (fun seq participants acc ->
+            if Hashtbl.mem finished seq then acc else (seq, participants) :: acc)
+          begun []
+      in
+      List.iter
+        (fun (seq, participants) ->
+          let commit =
+            match Hashtbl.find_opt decided seq with
+            | Some c -> c
+            | None ->
+                (* Undecided at the crash: the safe re-execution of the
+                   prepare phase is to abort. *)
+                let c =
+                  Engine.clog_append t.engine
+                    (Clog_record.Decision { tx_seq = seq; commit = false })
+                in
+                Engine.clog_wait_stable t.engine ~counter:c;
+                Hashtbl.replace t.decisions seq false;
+                false
+          in
+          Sim.spawn deps.sim (fun () ->
+              List.iter
+                (fun node ->
+                  ignore
+                    (Erpc.call t.rpc ~dst:node
+                       ~kind:(if commit then k_commit else k_abort)
+                       ~coord:deps.node_id ~tx_seq:seq ~op_id:999_997 ""))
+                participants;
+              ignore
+                (Engine.clog_append t.engine (Clog_record.Finished { tx_seq = seq }))))
+        unfinished;
+      (* Participant-side recovery: re-lock prepared write sets and resolve
+         them with their coordinators. *)
+      List.iter
+        (fun ((coord, tx_seq), writes) ->
+          let owner = { Types.coord; seq = tx_seq } in
+          List.iter
+            (fun (key, _) ->
+              ignore (Lock_table.acquire t.locks ~owner ~key Lock_table.Write))
+            writes;
+          Sim.spawn deps.sim (fun () ->
+              let rec resolve_loop attempts =
+                if attempts <= 0 then () (* stay prepared; blocked on coord *)
+                else
+                  match
+                    let b = Buffer.create 8 in
+                    Wire.w64 b tx_seq;
+                    Erpc.call t.rpc ~dst:coord ~kind:k_query_decision
+                      (Buffer.contents b)
+                  with
+                  | Ok "c" ->
+                      ignore (Engine.resolve t.engine ~tx:(coord, tx_seq) ~commit:true);
+                      finish_participant t ~coord ~tx_seq
+                  | Ok ("a" | "u") ->
+                      ignore (Engine.resolve t.engine ~tx:(coord, tx_seq) ~commit:false);
+                      finish_participant t ~coord ~tx_seq
+                  | Ok _ | Error (`Timeout | `Tampered) ->
+                      Sim.sleep deps.sim 20_000_000;
+                      resolve_loop (attempts - 1)
+              in
+              resolve_loop 25))
+        info.Engine.prepared;
+      t.recovering <- false;
+      Ok t
+
+let crash t =
+  t.alive <- false;
+  Erpc.shutdown t.rpc;
+  t.ssd
+
+let stop t =
+  t.alive <- false;
+  Erpc.shutdown t.rpc

@@ -1,0 +1,76 @@
+(** A Treaty storage node (Figure 1): enclave, secure RPC endpoint, storage
+    engine, lock table, trusted-counter replica — plus the transaction layer
+    acting as 2PC coordinator for its clients' transactions and participant
+    for everyone else's (§V-A, Figure 2).
+
+    Message kinds on the node's endpoint:
+    - coordinator→participant: operation execution, prepare, commit, abort,
+      and decision queries from recovering participants;
+    - client→coordinator: register, begin, op, commit, rollback.
+
+    All handlers run on fibers (the userland scheduler), so a coordinator
+    blocked on a participant's stabilization simply yields. *)
+
+type t
+
+(* RPC kinds (the wire protocol's handler selectors). *)
+val k_txn_op : int
+val k_txn_scan : int
+val k_prepare : int
+val k_commit : int
+val k_abort : int
+val k_query_decision : int
+val k_client_register : int
+val k_client_begin : int
+val k_client_op : int
+val k_client_scan : int
+val k_client_commit : int
+val k_client_abort : int
+
+type stats = {
+  mutable committed : int;
+  mutable aborted : int;
+  mutable distributed_committed : int;
+  mutable single_node_committed : int;
+  mutable remote_ops_served : int;
+  mutable decisions_queried : int;
+}
+
+type deps = {
+  sim : Treaty_sim.Sim.t;
+  config : Config.t;
+  net : Treaty_netsim.Net.t;
+  node_id : int;
+  peers : int list;  (** All storage node ids, self included. *)
+  route : string -> int;  (** Key -> owning node id (the shard map). *)
+  master : Treaty_crypto.Keys.master;  (** Provisioned by the CAS. *)
+  history : Serializability.t option;
+}
+
+val create : deps -> t
+(** Fresh node on an empty SSD. Registers handlers and the counter replica. *)
+
+val recover_with : deps -> ssd:Treaty_storage.Ssd.t -> (t, string) result
+(** Rebuild a node from its surviving SSD (§VI): replay + verify the logs
+    (against the trusted counter group when stabilization is on), re-lock
+    and re-resolve prepared transactions by querying their coordinators, and
+    finish or abort in-doubt coordinator transactions from the Clog. *)
+
+val node_id : t -> int
+val stats : t -> stats
+val engine : t -> Treaty_storage.Engine.t
+val rpc : t -> Treaty_rpc.Erpc.t
+val enclave : t -> Treaty_tee.Enclave.t
+val ssd : t -> Treaty_storage.Ssd.t
+val locks : t -> Lock_table.t
+val rote : t -> Treaty_counter.Rote.replica
+val counter_client : t -> Treaty_counter.Counter_client.t option
+
+val authenticate_client : t -> client_id:int -> token:string -> bool
+
+val crash : t -> Treaty_storage.Ssd.t
+(** Kill the node: volatile state is gone, the endpoint unregisters, the SSD
+    survives and is returned for a later {!recover_with}. *)
+
+val stop : t -> unit
+(** Graceful stop for simulation teardown (no recovery intended). *)

@@ -1,0 +1,108 @@
+type txinfo = {
+  tx : Types.txid;
+  reads : (string * int) list;
+  writes : (string * int) list;
+}
+
+type t = { mutable txs : txinfo list; mutable count : int }
+
+let create () = { txs = []; count = 0 }
+
+let record_commit t ~tx ~reads ~writes =
+  t.txs <- { tx; reads; writes } :: t.txs;
+  t.count <- t.count + 1
+
+let committed t = t.count
+
+type verdict = Serializable | Cycle of Types.txid list
+
+let pp_verdict ppf = function
+  | Serializable -> Format.fprintf ppf "serializable"
+  | Cycle txs ->
+      Format.fprintf ppf "cycle: %a"
+        (Format.pp_print_list ~pp_sep:(fun p () -> Format.fprintf p " -> ") Types.pp_txid)
+        txs
+
+let check t =
+  let txs = Array.of_list (List.rev t.txs) in
+  let n = Array.length txs in
+  let index_of_tx = Hashtbl.create n in
+  Array.iteri (fun i ti -> Hashtbl.replace index_of_tx ti.tx i) txs;
+  (* Per key: installed versions sorted by seq, each with its writer. *)
+  let versions : (string, (int * int) list ref) Hashtbl.t = Hashtbl.create 256 in
+  Array.iteri
+    (fun i ti ->
+      List.iter
+        (fun (key, seq) ->
+          match Hashtbl.find_opt versions key with
+          | Some l -> l := (seq, i) :: !l
+          | None -> Hashtbl.replace versions key (ref [ (seq, i) ]))
+        ti.writes)
+    txs;
+  Hashtbl.iter (fun _ l -> l := List.sort compare !l) versions;
+  let edges = Array.make n [] in
+  let add_edge a b = if a <> b then edges.(a) <- b :: edges.(a) in
+  let writer_of key seq =
+    match Hashtbl.find_opt versions key with
+    | None -> None
+    | Some l -> List.assoc_opt seq !l
+  in
+  let next_writer_after key seq =
+    match Hashtbl.find_opt versions key with
+    | None -> None
+    | Some l -> List.find_opt (fun (s, _) -> s > seq) !l |> Option.map snd
+  in
+  Array.iteri
+    (fun i ti ->
+      (* ww: version order on each key. *)
+      List.iter
+        (fun (key, seq) ->
+          match next_writer_after key seq with
+          | Some j -> add_edge i j
+          | None -> ())
+        ti.writes;
+      (* wr and rw edges from reads. *)
+      List.iter
+        (fun (key, seq) ->
+          (match writer_of key seq with Some j -> add_edge j i | None -> ());
+          match next_writer_after key seq with
+          | Some j -> add_edge i j
+          | None -> ())
+        ti.reads)
+    txs;
+  (* Cycle detection: iterative DFS with colors. *)
+  let color = Array.make n 0 (* 0 white, 1 grey, 2 black *) in
+  let parent = Array.make n (-1) in
+  let cycle = ref None in
+  let rec dfs i =
+    if !cycle = None then begin
+      color.(i) <- 1;
+      List.iter
+        (fun j ->
+          if !cycle = None then
+            if color.(j) = 1 then begin
+              (* Reconstruct the cycle j -> ... -> i -> j. *)
+              let rec walk k acc = if k = j then k :: acc else walk parent.(k) (k :: acc) in
+              cycle := Some (walk i [])
+            end
+            else if color.(j) = 0 then begin
+              parent.(j) <- i;
+              dfs j
+            end)
+        edges.(i);
+      color.(i) <- 2
+    end
+  in
+  for i = 0 to n - 1 do
+    if color.(i) = 0 && !cycle = None then dfs i
+  done;
+  match !cycle with
+  | None -> Serializable
+  | Some idxs -> Cycle (List.map (fun i -> txs.(i).tx) idxs)
+
+let dump_tx t tx =
+  match List.find_opt (fun ti -> ti.tx = tx) t.txs with
+  | None -> "(not recorded)"
+  | Some ti ->
+      let fmt l = String.concat ", " (List.map (fun (k, s) -> Printf.sprintf "%s@%d" k s) l) in
+      Printf.sprintf "reads=[%s] writes=[%s]" (fmt ti.reads) (fmt ti.writes)

@@ -1,0 +1,26 @@
+type node_id = int
+type txid = { coord : node_id; seq : int }
+
+let txid_to_pair { coord; seq } = (coord, seq)
+let txid_of_pair (coord, seq) = { coord; seq }
+let pp_txid ppf { coord; seq } = Format.fprintf ppf "tx(%d,%d)" coord seq
+
+type isolation = Pessimistic | Optimistic
+
+type abort_reason =
+  | Lock_timeout
+  | Validation_failed
+  | Participant_failed
+  | Integrity
+  | Rolled_back
+  | Unauthenticated
+
+let abort_reason_to_string = function
+  | Lock_timeout -> "lock timeout"
+  | Validation_failed -> "validation failed"
+  | Participant_failed -> "participant failed"
+  | Integrity -> "integrity violation"
+  | Rolled_back -> "rolled back"
+  | Unauthenticated -> "unauthenticated"
+
+type 'a txn_result = ('a, abort_reason) result

@@ -1,0 +1,88 @@
+module Sim = Treaty_sim.Sim
+type stats = {
+  mutable submits : int;
+  mutable rounds_started : int;
+  mutable waits : int;
+}
+
+type log_state = {
+  mutable stable : int;
+  mutable target : int;  (* highest submitted value *)
+  mutable in_flight : bool;
+  mutable waiters : (int * unit Sim.ivar) list;
+}
+
+type t = {
+  replica : Rote.replica;
+  owner : int;
+  sim : Sim.t;
+  logs : (string, log_state) Hashtbl.t;
+  stats : stats;
+}
+
+let create replica ~owner =
+  {
+    replica;
+    owner;
+    sim = Rote.sim replica;
+    logs = Hashtbl.create 8;
+    stats = { submits = 0; rounds_started = 0; waits = 0 };
+  }
+
+let log_state t log =
+  match Hashtbl.find_opt t.logs log with
+  | Some s -> s
+  | None ->
+      let s = { stable = 0; target = 0; in_flight = false; waiters = [] } in
+      Hashtbl.replace t.logs log s;
+      s
+
+let wake_waiters s =
+  let ready, rest = List.partition (fun (c, _) -> c <= s.stable) s.waiters in
+  s.waiters <- rest;
+  List.iter (fun (_, iv) -> Sim.fill iv ()) ready
+
+let rec run_round t log s ~attempts =
+  let value = s.target in
+  t.stats.rounds_started <- t.stats.rounds_started + 1;
+  match Rote.increment t.replica ~owner:t.owner ~log ~value with
+  | Ok () ->
+      s.stable <- max s.stable value;
+      wake_waiters s;
+      if s.target > s.stable then run_round t log s ~attempts:40
+      else s.in_flight <- false
+  | Error `No_quorum ->
+      (* Availability loss, not a safety issue: retry with a backoff (the
+         fault model is crash-recovery, so the quorum normally returns).
+         Bounded so a torn-down cluster drains instead of spinning; waiters
+         of an abandoned round stay blocked, exactly like a partitioned
+         node. *)
+      if attempts > 0 then begin
+        Sim.sleep t.sim 2_000_000;
+        run_round t log s ~attempts:(attempts - 1)
+      end
+      else s.in_flight <- false
+
+let submit t ~log ~counter =
+  t.stats.submits <- t.stats.submits + 1;
+  let s = log_state t log in
+  if counter > s.target then s.target <- counter;
+  if (not s.in_flight) && s.target > s.stable then begin
+    s.in_flight <- true;
+    Sim.spawn t.sim (fun () -> run_round t log s ~attempts:40)
+  end
+
+let wait_stable t ~log ~counter =
+  let s = log_state t log in
+  if counter > s.stable then begin
+    t.stats.waits <- t.stats.waits + 1;
+    if counter > s.target then submit t ~log ~counter;
+    let iv = Sim.ivar () in
+    s.waiters <- (counter, iv) :: s.waiters;
+    Sim.read t.sim iv
+  end
+
+let stable_value t ~log = (log_state t log).stable
+let stats t = t.stats
+
+let trusted_for_recovery t ~log = Rote.query t.replica ~owner:t.owner ~log

@@ -1,0 +1,35 @@
+(** Asynchronous stabilization interface over the trusted counter service
+    (§VI: "The communication is asynchronous to maximize CPU usage").
+
+    Log appends call {!submit} with their counter value and keep working;
+    fibers that must not proceed until an entry is rollback-protected call
+    {!wait_stable}. One increment round is in flight per log at a time, and
+    it always carries the *highest* submitted value, so bursts of appends
+    coalesce into one ROTE round — the batching that keeps the ~2 ms round
+    latency off the throughput path. *)
+
+type t
+
+type stats = {
+  mutable submits : int;
+  mutable rounds_started : int;
+  mutable waits : int;
+}
+
+val create : Rote.replica -> owner:int -> t
+(** [owner] is the node whose logs this client stabilizes. *)
+
+val stats : t -> stats
+
+val submit : t -> log:string -> counter:int -> unit
+(** Note that [counter] has been appended to [log]; start (or piggyback on)
+    an increment round. Returns immediately. *)
+
+val wait_stable : t -> log:string -> counter:int -> unit
+(** Block the calling fiber until [counter] is trusted. *)
+
+val stable_value : t -> log:string -> int
+
+val trusted_for_recovery : t -> log:string -> (int, [ `No_quorum ]) result
+(** Quorum-query the group (used by a recovering node whose local state is
+    gone). *)

@@ -1,0 +1,192 @@
+module Sim = Treaty_sim.Sim
+module Erpc = Treaty_rpc.Erpc
+module Enclave = Treaty_tee.Enclave
+module Wire = Treaty_util.Wire
+
+let kind_echo1 = 101
+let kind_echo2 = 102
+let kind_query = 103
+
+type stats = {
+  mutable increments : int;
+  mutable rounds : int;
+  mutable quorum_failures : int;
+  mutable queries : int;
+}
+
+type replica = {
+  rpc : Erpc.t;
+  group : int list;
+  quorum : int;
+  (* In-enclave counter store: (owner, log) -> committed value, plus the
+     first-round pending value awaiting confirmation. *)
+  committed : (int * string, int) Hashtbl.t;
+  pending : (int * string, int) Hashtbl.t;
+  persist : string -> unit;
+  stats : stats;
+}
+
+let proc_cost t =
+  let e = Erpc.enclave t.rpc in
+  Enclave.compute e (Enclave.cost e).rote_proc_ns
+
+let seal_cost t =
+  let e = Erpc.enclave t.rpc in
+  Enclave.compute e (Enclave.cost e).rote_seal_ns
+
+let encode_update ~owner ~log ~value =
+  let b = Buffer.create 32 in
+  Wire.w64 b owner;
+  Wire.wstr b log;
+  Wire.w64 b value;
+  Buffer.contents b
+
+let decode_update payload =
+  let r = Wire.reader payload in
+  let owner = Wire.r64 r in
+  let log = Wire.rstr r in
+  let value = Wire.r64 r in
+  (owner, log, value)
+
+let seal_state t =
+  (* Seal the committed table to this enclave's identity. *)
+  let b = Buffer.create 256 in
+  Hashtbl.iter
+    (fun (owner, log) v ->
+      Wire.w64 b owner;
+      Wire.wstr b log;
+      Wire.w64 b v)
+    t.committed;
+  seal_cost t;
+  t.persist (Enclave.seal (Erpc.enclave t.rpc) (Buffer.contents b))
+
+let create_replica rpc ~group ?(persist = fun _ -> ()) () =
+  let t =
+    {
+      rpc;
+      group;
+      quorum = (List.length group / 2) + 1;
+      committed = Hashtbl.create 32;
+      pending = Hashtbl.create 8;
+      persist;
+      stats = { increments = 0; rounds = 0; quorum_failures = 0; queries = 0 };
+    }
+  in
+  Erpc.register rpc ~kind:kind_echo1 (fun _meta payload ->
+      proc_cost t;
+      let owner, log, value = decode_update payload in
+      Hashtbl.replace t.pending (owner, log) value;
+      "echo");
+  Erpc.register rpc ~kind:kind_echo2 (fun _meta payload ->
+      proc_cost t;
+      let owner, log, value = decode_update payload in
+      match Hashtbl.find_opt t.pending (owner, log) with
+      | Some v when v = value ->
+          let cur = Option.value ~default:0 (Hashtbl.find_opt t.committed (owner, log)) in
+          Hashtbl.replace t.committed (owner, log) (max cur value);
+          Hashtbl.remove t.pending (owner, log);
+          "ack"
+      | Some _ | None -> "nack");
+  Erpc.register rpc ~kind:kind_query (fun _meta payload ->
+      proc_cost t;
+      let r = Wire.reader payload in
+      let owner = Wire.r64 r in
+      let log = Wire.rstr r in
+      let v = Option.value ~default:0 (Hashtbl.find_opt t.committed (owner, log)) in
+      let b = Buffer.create 8 in
+      Wire.w64 b v;
+      Buffer.contents b);
+  t
+
+let stats t = t.stats
+let sim t = Enclave.sim (Erpc.enclave t.rpc)
+
+(* Broadcast one round to the whole group (self included, handled locally)
+   and count successes; returns the reply payloads. *)
+let round t ~kind ~payload =
+  t.stats.rounds <- t.stats.rounds + 1;
+  (* Epoch alignment/batch formation in the ROTE service: waiting, not CPU. *)
+  Sim.sleep (sim t) (Enclave.cost (Erpc.enclave t.rpc)).rote_round_latency_ns;
+  let self = Erpc.node_id t.rpc in
+  let replies = ref [] in
+  let latch = Treaty_sched.Scheduler.Latch.create (List.length t.group) in
+  List.iter
+    (fun peer ->
+      Sim.spawn (Enclave.sim (Erpc.enclave t.rpc)) (fun () ->
+          (if peer = self then begin
+             (* Local participation without a network hop. *)
+             proc_cost t;
+             match kind with
+             | k when k = kind_echo1 ->
+                 let owner, log, value = decode_update payload in
+                 Hashtbl.replace t.pending (owner, log) value;
+                 replies := "echo" :: !replies
+             | k when k = kind_echo2 ->
+                 let owner, log, value = decode_update payload in
+                 (match Hashtbl.find_opt t.pending (owner, log) with
+                 | Some v when v = value ->
+                     let cur =
+                       Option.value ~default:0 (Hashtbl.find_opt t.committed (owner, log))
+                     in
+                     Hashtbl.replace t.committed (owner, log) (max cur value);
+                     Hashtbl.remove t.pending (owner, log);
+                     replies := "ack" :: !replies
+                 | Some _ | None -> replies := "nack" :: !replies)
+             | _ -> ()
+           end
+           else
+             match Erpc.call t.rpc ~dst:peer ~kind ~timeout_ns:10_000_000 payload with
+             | Ok reply -> replies := reply :: !replies
+             | Error (`Timeout | `Tampered) -> ());
+          Treaty_sched.Scheduler.Latch.arrive latch))
+    t.group;
+  Treaty_sched.Scheduler.Latch.wait
+    (Sim.sched (Enclave.sim (Erpc.enclave t.rpc)))
+    latch;
+  !replies
+
+let increment t ~owner ~log ~value =
+  t.stats.increments <- t.stats.increments + 1;
+  let payload = encode_update ~owner ~log ~value in
+  let echoes = round t ~kind:kind_echo1 ~payload in
+  let ok_echoes = List.length (List.filter (( = ) "echo") echoes) in
+  if ok_echoes < t.quorum then begin
+    t.stats.quorum_failures <- t.stats.quorum_failures + 1;
+    Error `No_quorum
+  end
+  else begin
+    let acks = round t ~kind:kind_echo2 ~payload in
+    let ok_acks = List.length (List.filter (( = ) "ack") acks) in
+    if ok_acks < t.quorum then begin
+      t.stats.quorum_failures <- t.stats.quorum_failures + 1;
+      Error `No_quorum
+    end
+    else begin
+      seal_state t;
+      Ok ()
+    end
+  end
+
+let local_value t ~owner ~log =
+  Option.value ~default:0 (Hashtbl.find_opt t.committed (owner, log))
+
+let query t ~owner ~log =
+  t.stats.queries <- t.stats.queries + 1;
+  let b = Buffer.create 16 in
+  Wire.w64 b owner;
+  Wire.wstr b log;
+  let payload = Buffer.contents b in
+  let replies = round t ~kind:kind_query ~payload in
+  let values =
+    List.filter_map
+      (fun reply ->
+        if reply = "echo" || reply = "ack" || reply = "nack" then None
+        else
+          match Wire.r64 (Wire.reader reply) with
+          | v -> Some v
+          | exception Wire.Malformed _ -> None)
+      replies
+  in
+  let values = local_value t ~owner ~log :: values in
+  if List.length replies + 1 < t.quorum then Error `No_quorum
+  else Ok (List.fold_left max 0 values)

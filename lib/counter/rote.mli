@@ -1,0 +1,54 @@
+(** Distributed trusted counter service (§VI; after ROTE).
+
+    SGX's hardware monotonic counters are too slow (~250 ms), wear out, and
+    are private per CPU — so Treaty adopts a ROTE-style protection group:
+    counter state is replicated in the enclaves of the group's nodes, and an
+    increment runs an echo-broadcast with a final confirmation:
+
+    1. the sender enclave (SE) broadcasts the counter update;
+    2. each receiver enclave (RE) stores it in protected memory and echoes;
+    3. on a quorum of echoes the SE starts a second round;
+    4. each RE checks the value matches what it stored and (N)ACKs;
+    5. on a quorum of ACKs the SE seals its state; the value is durable
+       against the crash of any minority of the group.
+
+    Counters are named by (owner node, log name) — one per authenticated log
+    file. A counter value is *trusted* once incremented through the group:
+    recovery asks the group ({!query}) and compares log tails against it. *)
+
+type replica
+
+val kind_echo1 : int
+val kind_echo2 : int
+val kind_query : int
+(** RPC handler kinds registered on each group member's endpoint. *)
+
+type stats = {
+  mutable increments : int;
+  mutable rounds : int;
+  mutable quorum_failures : int;
+  mutable queries : int;
+}
+
+val create_replica :
+  Treaty_rpc.Erpc.t -> group:int list -> ?persist:(string -> unit) -> unit -> replica
+(** Join the protection group [group] (node ids, self included), registering
+    the counter RPC handlers on this node's endpoint. [persist] receives the
+    sealed counter state after each confirmed increment. *)
+
+val stats : replica -> stats
+val sim : replica -> Treaty_sim.Sim.t
+
+val increment :
+  replica -> owner:int -> log:string -> value:int -> (unit, [ `No_quorum ]) result
+(** Run the echo-broadcast to make [value] the trusted value of
+    [(owner, log)]. Values must be submitted in increasing order; a larger
+    value subsumes smaller ones. Blocks the calling fiber for the protocol
+    rounds (~2 ms); fails if a quorum of the group is unreachable. *)
+
+val local_value : replica -> owner:int -> log:string -> int
+(** This replica's in-enclave view (0 if unknown). *)
+
+val query :
+  replica -> owner:int -> log:string -> (int, [ `No_quorum ]) result
+(** Quorum read for recovery: the highest value any quorum member holds. *)

@@ -1,0 +1,76 @@
+type key = { enc : string; mac : Hmac.t }
+
+let iv_size = 12
+let mac_size = 16
+let overhead = iv_size + mac_size
+
+let key_of_string material =
+  let enc = Sha256.digest_string ("treaty-aead-enc:" ^ material) in
+  let mac_key = Sha256.digest_string ("treaty-aead-mac:" ^ material) in
+  { enc; mac = Hmac.create mac_key }
+
+let len32 s =
+  let n = String.length s in
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr (n land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 3 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.unsafe_to_string b
+
+let tag key ~iv ~aad ct =
+  (* Unambiguous framing: lengths of aad and ct are MACed too. *)
+  let full = Hmac.mac_parts key.mac [ iv; len32 aad; aad; len32 ct; ct ] in
+  String.sub full 0 mac_size
+
+let seal key ~iv ?(aad = "") pt =
+  if String.length iv <> iv_size then invalid_arg "Aead.seal: iv size";
+  let ct = Chacha20.xor ~key:key.enc ~nonce:iv pt in
+  (ct, tag key ~iv ~aad ct)
+
+let open_ key ~iv ?(aad = "") ~mac ct =
+  if
+    String.length iv = iv_size
+    && String.length mac = mac_size
+    && Hmac.equal_tags mac (tag key ~iv ~aad ct)
+  then Ok (Chacha20.xor ~key:key.enc ~nonce:iv ct)
+  else Error `Mac_mismatch
+
+let seal_packed key ~iv ?aad pt =
+  let ct, mac = seal key ~iv ?aad pt in
+  iv ^ ct ^ mac
+
+let open_packed key ?aad packed =
+  if String.length packed < overhead then Error `Truncated
+  else begin
+    let iv = String.sub packed 0 iv_size in
+    let ct_len = String.length packed - overhead in
+    let ct = String.sub packed iv_size ct_len in
+    let mac = String.sub packed (iv_size + ct_len) mac_size in
+    match open_ key ~iv ?aad ~mac ct with
+    | Ok pt -> Ok pt
+    | Error `Mac_mismatch -> Error `Mac_mismatch
+  end
+
+module Iv_gen = struct
+  type t = { prefix : string; mutable counter : int }
+
+  let create ~node_id =
+    let prefix =
+      let b = Bytes.create 4 in
+      Bytes.set b 0 (Char.chr (node_id land 0xff));
+      Bytes.set b 1 (Char.chr ((node_id lsr 8) land 0xff));
+      Bytes.set b 2 (Char.chr ((node_id lsr 16) land 0xff));
+      Bytes.set b 3 (Char.chr ((node_id lsr 24) land 0xff));
+      Bytes.unsafe_to_string b
+    in
+    { prefix; counter = 0 }
+
+  let next t =
+    t.counter <- t.counter + 1;
+    let b = Bytes.create 8 in
+    for i = 0 to 7 do
+      Bytes.set b i (Char.chr ((t.counter lsr (8 * i)) land 0xff))
+    done;
+    t.prefix ^ Bytes.unsafe_to_string b
+end

@@ -1,0 +1,50 @@
+(** Authenticated encryption with associated data.
+
+    ChaCha20 + HMAC-SHA256 in encrypt-then-MAC composition, with the wire
+    sizes Treaty's message layout prescribes (§VII-A): a 12-byte IV and a
+    16-byte (truncated) MAC. Tampering with the IV, the associated data, the
+    ciphertext or the MAC makes {!open_} return [Error `Mac_mismatch]. *)
+
+type key
+
+val iv_size : int
+(** 12 bytes. *)
+
+val mac_size : int
+(** 16 bytes. *)
+
+val overhead : int
+(** [iv_size + mac_size]: bytes added by {!seal_packed}. *)
+
+val key_of_string : string -> key
+(** Derive an AEAD key (independent cipher and MAC subkeys) from arbitrary
+    key material. *)
+
+val seal : key -> iv:string -> ?aad:string -> string -> string * string
+(** [seal k ~iv ~aad pt] is [(ciphertext, mac)]. The IV must be unique per
+    key; use {!Iv_gen}. *)
+
+val open_ :
+  key ->
+  iv:string ->
+  ?aad:string ->
+  mac:string ->
+  string ->
+  (string, [ `Mac_mismatch ]) result
+
+val seal_packed : key -> iv:string -> ?aad:string -> string -> string
+(** [iv || ciphertext || mac] as one string. *)
+
+val open_packed :
+  key -> ?aad:string -> string -> (string, [ `Mac_mismatch | `Truncated ]) result
+
+(** Deterministic IV generator: a per-key 96-bit counter, never reused. *)
+module Iv_gen : sig
+  type t
+
+  val create : node_id:int -> t
+  (** Node id is mixed into the IV so distinct nodes sharing a network key
+      never collide. *)
+
+  val next : t -> string
+end

@@ -1,0 +1,19 @@
+(** ChaCha20 stream cipher (RFC 8439).
+
+    Used as the confidentiality half of the {!Aead} construction. Pure OCaml,
+    from scratch. *)
+
+val key_size : int
+(** 32 bytes. *)
+
+val nonce_size : int
+(** 12 bytes. *)
+
+val xor : key:string -> nonce:string -> ?counter:int -> string -> string
+(** [xor ~key ~nonce msg] encrypts (or, being an involution, decrypts) [msg]
+    with the keystream starting at block [counter] (default 1, per RFC 8439
+    AEAD usage). *)
+
+val block : key:string -> nonce:string -> counter:int -> string
+(** One raw 64-byte keystream block (exposed for tests against the RFC
+    vectors). *)

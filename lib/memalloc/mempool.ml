@@ -1,0 +1,92 @@
+type region = Host | Enclave
+
+type buf = {
+  bytes : Bytes.t;
+  mutable size : int;
+  region : region;
+  mutable freed : bool;
+}
+
+type stats = {
+  mutable allocations : int;
+  mutable recycled : int;
+  mutable mapped_host : int;
+  mutable mapped_enclave : int;
+  mutable live : int;
+}
+
+(* One heap = free lists indexed by size-class exponent, per region. *)
+type heap = { host_free : buf list array; enclave_free : buf list array }
+
+type t = {
+  enclave : Treaty_tee.Enclave.t;
+  heaps : heap array;
+  stats : stats;
+}
+
+let max_class_exp = 26 (* up to 64 MiB *)
+
+let class_size n =
+  let n = max n 64 in
+  let rec go c = if c >= n then c else go (c * 2) in
+  go 64
+
+let class_exp n =
+  let c = class_size n in
+  let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v / 2) in
+  log2 0 c
+
+let fresh_heap () =
+  {
+    host_free = Array.make (max_class_exp + 1) [];
+    enclave_free = Array.make (max_class_exp + 1) [];
+  }
+
+let create ?(heaps = 8) enclave =
+  {
+    enclave;
+    heaps = Array.init (max 1 heaps) (fun _ -> fresh_heap ());
+    stats = { allocations = 0; recycled = 0; mapped_host = 0; mapped_enclave = 0; live = 0 };
+  }
+
+let heap_of t owner = t.heaps.(abs (owner * 0x9E3779B1) mod Array.length t.heaps)
+
+let alloc t ?(owner = 0) region n =
+  if n > 1 lsl max_class_exp then invalid_arg "Mempool.alloc: too large";
+  let heap = heap_of t owner in
+  let exp = class_exp n in
+  let free = match region with Host -> heap.host_free | Enclave -> heap.enclave_free in
+  t.stats.allocations <- t.stats.allocations + 1;
+  t.stats.live <- t.stats.live + 1;
+  match free.(exp) with
+  | b :: rest ->
+      free.(exp) <- rest;
+      t.stats.recycled <- t.stats.recycled + 1;
+      if region = Enclave then
+        Treaty_tee.Enclave.touch_enclave t.enclave (Bytes.length b.bytes);
+      b.freed <- false;
+      b.size <- n;
+      b
+  | [] ->
+      let c = class_size n in
+      (match region with
+      | Host ->
+          t.stats.mapped_host <- t.stats.mapped_host + c;
+          Treaty_tee.Enclave.alloc_host t.enclave c
+      | Enclave ->
+          t.stats.mapped_enclave <- t.stats.mapped_enclave + c;
+          Treaty_tee.Enclave.alloc_enclave t.enclave c);
+      { bytes = Bytes.create c; size = n; region; freed = false }
+
+let free t ?(owner = 0) b =
+  if b.freed then invalid_arg "Mempool.free: double free";
+  b.freed <- true;
+  t.stats.live <- t.stats.live - 1;
+  let heap = heap_of t owner in
+  let exp = class_exp (Bytes.length b.bytes) in
+  let free_lists =
+    match b.region with Host -> heap.host_free | Enclave -> heap.enclave_free
+  in
+  free_lists.(exp) <- b :: free_lists.(exp)
+
+let stats t = t.stats

@@ -1,0 +1,51 @@
+(** Scalable mempool allocator for transaction and message buffers (§VII-D).
+
+    The paper splits in-memory data between enclave and untrusted host
+    memory: all network message buffers live in host memory (in 2 MiB
+    hugepages) at the cost of encryption, while transaction-private state
+    stays in the enclave. Its allocator assigns threads to heaps by a hash of
+    their id and recycles buffers to keep mapped memory small.
+
+    This model reproduces those mechanics: size-class free lists, multiple
+    heaps selected by a caller id, explicit [Host] vs [Enclave] regions that
+    feed the {!Treaty_tee.Enclave} EPC accounting (so allocating message
+    buffers in the enclave really does trigger simulated paging — the
+    ablation in the benchmarks), and recycling statistics. *)
+
+type region = Host | Enclave
+
+type buf = private {
+  bytes : Bytes.t;  (** Backing storage, size-class sized. *)
+  mutable size : int;  (** Requested size. *)
+  region : region;
+  mutable freed : bool;
+}
+
+type stats = {
+  mutable allocations : int;
+  mutable recycled : int;  (** Allocations served from a free list. *)
+  mutable mapped_host : int;  (** Bytes of fresh host memory mapped. *)
+  mutable mapped_enclave : int;
+  mutable live : int;  (** Currently outstanding buffers. *)
+}
+
+type t
+
+val create : ?heaps:int -> Treaty_tee.Enclave.t -> t
+(** [heaps] (default 8) is the number of independent free-list sets; callers
+    are spread across them by {!alloc}'s [owner] hash. *)
+
+val alloc : t -> ?owner:int -> region -> int -> buf
+(** [alloc t ~owner region n] returns a buffer of at least [n] bytes from the
+    owner's heap. Fresh enclave allocations are charged to the EPC (possibly
+    paging); recycled ones only pay a touch. *)
+
+val free : t -> ?owner:int -> buf -> unit
+(** Return a buffer to its heap's free list. Double frees raise
+    [Invalid_argument]. *)
+
+val stats : t -> stats
+
+val class_size : int -> int
+(** The size class (power of two, >= 64) that a request of [n] bytes maps
+    to. Exposed for tests. *)

@@ -1,0 +1,35 @@
+type action =
+  | Deliver
+  | Drop
+  | Delay of int
+  | Tamper of (string -> string)
+  | Duplicate
+
+type t = Packet.t -> action
+
+let honest _ = Deliver
+let drop_matching p pkt = if p pkt then Drop else Deliver
+let delay_matching p ~ns pkt = if p pkt then Delay ns else Deliver
+let duplicate_matching p pkt = if p pkt then Duplicate else Deliver
+
+let flip_byte ~at p pkt =
+  if p pkt then
+    Tamper
+      (fun payload ->
+        if String.length payload = 0 then payload
+        else begin
+          let b = Bytes.of_string payload in
+          let i = at mod Bytes.length b in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+          Bytes.to_string b
+        end)
+  else Deliver
+
+let nth_matching p ~n action =
+  let seen = ref 0 in
+  fun pkt ->
+    if p pkt then begin
+      incr seen;
+      if !seen = n then action else Deliver
+    end
+    else Deliver

@@ -1,0 +1,29 @@
+(** Network adversary (threat model, §III).
+
+    Treaty's adversary "can drop, delay, or manipulate network traffic". An
+    adversary is a packet interposer installed on the {!Net}; each in-flight
+    packet is presented to it and the returned actions are applied. Tests use
+    the combinators here to mount the attacks the paper defends against and
+    assert they are detected (MAC failure, duplicate-execution rejection). *)
+
+type action =
+  | Deliver  (** Pass through unmodified. *)
+  | Drop
+  | Delay of int  (** Extra nanoseconds before delivery. *)
+  | Tamper of (string -> string)  (** Rewrite the wire payload. *)
+  | Duplicate  (** Deliver twice (replay of a fresh packet). *)
+
+type t = Packet.t -> action
+
+val honest : t
+
+val drop_matching : (Packet.t -> bool) -> t
+val delay_matching : (Packet.t -> bool) -> ns:int -> t
+val duplicate_matching : (Packet.t -> bool) -> t
+
+val flip_byte : at:int -> (Packet.t -> bool) -> t
+(** Flip one payload byte of matching packets (integrity attack). *)
+
+val nth_matching : (Packet.t -> bool) -> n:int -> action -> t
+(** Apply [action] to the [n]-th (1-based) matching packet only; everything
+    else is delivered. Useful for targeting e.g. "the 3rd prepare". *)

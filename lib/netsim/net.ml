@@ -1,0 +1,134 @@
+module Sim = Treaty_sim.Sim
+
+type endpoint_config = {
+  bandwidth_bytes_per_ns : float;
+  propagation_ns : int;
+}
+
+type endpoint = {
+  config : endpoint_config;
+  mutable handler : (Packet.t -> unit) option;
+  mutable nic_free_at : int;  (** FIFO NIC serialization horizon. *)
+}
+
+type stats = {
+  mutable packets : int;
+  mutable bytes : int;
+  mutable dropped : int;
+  mutable tampered : int;
+  mutable duplicated : int;
+}
+
+type t = {
+  sim : Sim.t;
+  cost : Treaty_sim.Costmodel.t;
+  endpoints : (int, endpoint) Hashtbl.t;
+  mutable adversary : Adversary.t;
+  mutable next_packet_id : int;
+  stats : stats;
+  mutable capture_limit : int;
+  mutable capture_buf : Packet.t list;  (** newest first *)
+}
+
+let fabric_config (cost : Treaty_sim.Costmodel.t) =
+  {
+    bandwidth_bytes_per_ns = cost.net_bandwidth_bytes_per_ns;
+    propagation_ns = cost.net_propagation_ns;
+  }
+
+let client_config = { bandwidth_bytes_per_ns = 0.125 (* 1 Gb/s *); propagation_ns = 30_000 }
+
+let create sim cost =
+  {
+    sim;
+    cost;
+    endpoints = Hashtbl.create 16;
+    adversary = Adversary.honest;
+    next_packet_id = 0;
+    stats = { packets = 0; bytes = 0; dropped = 0; tampered = 0; duplicated = 0 };
+    capture_limit = 0;
+    capture_buf = [];
+  }
+
+let register t ~id ?config handler =
+  let config = Option.value config ~default:(fabric_config t.cost) in
+  match Hashtbl.find_opt t.endpoints id with
+  | Some ep ->
+      ep.handler <- Some handler
+  | None ->
+      Hashtbl.replace t.endpoints id { config; handler = Some handler; nic_free_at = 0 }
+
+let unregister t ~id =
+  match Hashtbl.find_opt t.endpoints id with
+  | Some ep -> ep.handler <- None
+  | None -> ()
+
+let deliver_at t pkt ~time =
+  ignore
+    (Sim.at t.sim ~time (fun () ->
+         match Hashtbl.find_opt t.endpoints pkt.Packet.dst with
+         | Some { handler = Some h; _ } ->
+             if t.capture_limit > 0 then begin
+               t.capture_buf <- pkt :: t.capture_buf;
+               (match
+                  List.filteri (fun i _ -> i < t.capture_limit) t.capture_buf
+                with
+               | trimmed -> t.capture_buf <- trimmed)
+             end;
+             h pkt
+         | Some { handler = None; _ } | None ->
+             t.stats.dropped <- t.stats.dropped + 1))
+
+let transit t pkt =
+  match Hashtbl.find_opt t.endpoints pkt.Packet.src, Hashtbl.find_opt t.endpoints pkt.Packet.dst with
+  | None, _ | _, None -> t.stats.dropped <- t.stats.dropped + 1
+  | Some src_ep, Some dst_ep ->
+      let bw =
+        Float.min src_ep.config.bandwidth_bytes_per_ns
+          dst_ep.config.bandwidth_bytes_per_ns
+      in
+      let tx_ns = int_of_float (float_of_int pkt.size /. bw) in
+      let start = max (Sim.now t.sim) src_ep.nic_free_at in
+      src_ep.nic_free_at <- start + tx_ns;
+      let prop = max src_ep.config.propagation_ns dst_ep.config.propagation_ns in
+      t.stats.packets <- t.stats.packets + 1;
+      t.stats.bytes <- t.stats.bytes + pkt.size;
+      deliver_at t pkt ~time:(src_ep.nic_free_at + prop)
+
+let inject t pkt ~interpose =
+  if not interpose then transit t pkt
+  else
+    match t.adversary pkt with
+    | Adversary.Deliver -> transit t pkt
+    | Adversary.Drop -> t.stats.dropped <- t.stats.dropped + 1
+    | Adversary.Delay ns ->
+        ignore (Sim.after t.sim ~ns (fun () -> transit t pkt))
+    | Adversary.Tamper f ->
+        t.stats.tampered <- t.stats.tampered + 1;
+        let payload = f pkt.payload in
+        transit t { pkt with payload }
+    | Adversary.Duplicate ->
+        t.stats.duplicated <- t.stats.duplicated + 1;
+        transit t pkt;
+        transit t { pkt with id = (t.next_packet_id <- t.next_packet_id + 1; t.next_packet_id) }
+
+let send t ~src ~dst ?(wire_overhead = 64) payload =
+  t.next_packet_id <- t.next_packet_id + 1;
+  let pkt =
+    {
+      Packet.id = t.next_packet_id;
+      src;
+      dst;
+      size = String.length payload + wire_overhead;
+      payload;
+    }
+  in
+  inject t pkt ~interpose:true
+
+let set_adversary t adv = t.adversary <- adv
+let clear_adversary t = t.adversary <- Adversary.honest
+let stats t = t.stats
+let replay t pkt = inject t pkt ~interpose:false
+
+let capture t ~limit = t.capture_limit <- limit
+let captured t = List.rev t.capture_buf

@@ -1,0 +1,229 @@
+module Sim = Treaty_sim.Sim
+module Enclave = Treaty_tee.Enclave
+module Mempool = Treaty_memalloc.Mempool
+module Net = Treaty_netsim.Net
+
+type config = {
+  transport : Transport.kind;
+  params : Transport.params;
+  security : Secure_msg.security;
+  msgbuf_region : Mempool.region;
+  rdtsc_ocalls : bool;
+  timeout_ns : int;
+}
+
+let default_config ~security =
+  {
+    transport = Transport.Dpdk;
+    params = Transport.default_params;
+    security;
+    msgbuf_region = Mempool.Host;
+    rdtsc_ocalls = false;
+    timeout_ns = 50_000_000 (* 50 ms *);
+  }
+
+type error = [ `Timeout | `Tampered ]
+
+type stats = {
+  mutable requests_sent : int;
+  mutable responses_sent : int;
+  mutable mac_failures : int;
+  mutable replays_suppressed : int;
+  mutable timeouts : int;
+}
+
+type dedup_entry = Running of string Sim.ivar | Done of string
+
+(* Endpoint incarnation counter: non-transactional calls from a restarted
+   endpoint must not collide with its previous life's identities in peers'
+   at-most-once caches. Deterministic (creation order is deterministic). *)
+let next_epoch = ref 0
+
+type t = {
+  sim : Sim.t;
+  net : Net.t;
+  enclave : Enclave.t;
+  pool : Mempool.t;
+  config : config;
+  node_id : int;
+  iv_gen : Treaty_crypto.Aead.Iv_gen.t;
+  handlers : (int, Secure_msg.meta -> string -> string) Hashtbl.t;
+  pending : (int, (string, error) result Sim.ivar) Hashtbl.t;
+  dedup : (int * int * int, dedup_entry) Hashtbl.t;
+  dedup_by_tx : (int * int, int list ref) Hashtbl.t;
+  mutable next_req_id : int;
+  epoch : int;
+  mutable next_tx_seq : int;
+  mutable alive : bool;
+  stats : stats;
+}
+
+let crypto_charge t ~bytes =
+  match t.config.security with
+  | Secure_msg.Plain -> ()
+  | Secure_msg.Secure _ -> Enclave.charge_crypto t.enclave ~bytes
+
+(* Allocate, touch and free a message buffer around an action — the paper's
+   "buffers remain allocated until the entire request has been served". *)
+let with_msgbuf t size f =
+  let buf = Mempool.alloc t.pool ~owner:t.node_id t.config.msgbuf_region size in
+  Fun.protect ~finally:(fun () -> Mempool.free t.pool ~owner:t.node_id buf) f
+
+let send_wire t ~dst meta data =
+  let data_len = String.length data in
+  let wire_len = Secure_msg.wire_size t.config.security ~data_len in
+  with_msgbuf t wire_len (fun () ->
+      if t.config.rdtsc_ocalls then Enclave.world_switch t.enclave;
+      Transport.charge t.config.params t.enclave t.config.transport
+        ~rpc_layer:true ~dir:`Tx ~bytes:wire_len;
+      crypto_charge t ~bytes:wire_len;
+      let wire = Secure_msg.encode t.config.security ~iv_gen:t.iv_gen meta data in
+      Net.send t.net ~src:t.node_id ~dst wire)
+
+let send_response t ~dst (meta : Secure_msg.meta) payload =
+  t.stats.responses_sent <- t.stats.responses_sent + 1;
+  send_wire t ~dst { meta with is_response = true; src = t.node_id } payload
+
+let record_dedup t key entry =
+  Hashtbl.replace t.dedup key entry;
+  let coord, tx_seq, _ = key in
+  let ops =
+    match Hashtbl.find_opt t.dedup_by_tx (coord, tx_seq) with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.replace t.dedup_by_tx (coord, tx_seq) l;
+        l
+  in
+  let _, _, op = key in
+  ops := op :: !ops
+
+let handle_request t (meta : Secure_msg.meta) data =
+  let key = Secure_msg.at_most_once_key meta in
+  let reply payload = send_response t ~dst:meta.src meta payload in
+  match Hashtbl.find_opt t.dedup key with
+  | Some (Done payload) ->
+      (* Replayed/duplicated request: answer from the cache, never
+         re-execute (freshness / at-most-once, §VII-A). *)
+      t.stats.replays_suppressed <- t.stats.replays_suppressed + 1;
+      reply payload
+  | Some (Running iv) ->
+      t.stats.replays_suppressed <- t.stats.replays_suppressed + 1;
+      let payload = Sim.read t.sim iv in
+      reply payload
+  | None -> (
+      match Hashtbl.find_opt t.handlers meta.kind with
+      | None -> () (* unknown kind: drop; caller times out *)
+      | Some handler ->
+          let running = Sim.ivar () in
+          record_dedup t key (Running running);
+          let payload = handler meta data in
+          Hashtbl.replace t.dedup key (Done payload);
+          Sim.fill running payload;
+          if t.alive then reply payload)
+
+let on_packet t (pkt : Treaty_netsim.Packet.t) =
+  (* Runs as a network-delivery event; spawn a fiber so handlers can block. *)
+  Sim.spawn t.sim (fun () ->
+      if t.alive then begin
+        if t.config.rdtsc_ocalls then Enclave.world_switch t.enclave;
+        Transport.charge t.config.params t.enclave t.config.transport
+          ~rpc_layer:true ~dir:`Rx ~bytes:pkt.size;
+        crypto_charge t ~bytes:(String.length pkt.payload);
+        match Secure_msg.decode t.config.security pkt.payload with
+        | Error (`Tampered | `Malformed) ->
+            t.stats.mac_failures <- t.stats.mac_failures + 1
+        | Ok (meta, data) ->
+            if meta.is_response then begin
+              match Hashtbl.find_opt t.pending meta.req_id with
+              | Some iv ->
+                  Hashtbl.remove t.pending meta.req_id;
+                  ignore (Sim.try_fill iv (Ok data))
+              | None -> () (* response after timeout: drop *)
+            end
+            else handle_request t meta data
+      end)
+
+let create sim ~net ~enclave ~pool ~config ~node_id ?net_config () =
+  let t =
+    {
+      sim;
+      net;
+      enclave;
+      pool;
+      config;
+      node_id;
+      iv_gen = Treaty_crypto.Aead.Iv_gen.create ~node_id;
+      handlers = Hashtbl.create 16;
+      pending = Hashtbl.create 64;
+      dedup = Hashtbl.create 256;
+      dedup_by_tx = Hashtbl.create 64;
+      next_req_id = 0;
+      epoch = (incr next_epoch; !next_epoch);
+      next_tx_seq = 0;
+      alive = true;
+      stats =
+        {
+          requests_sent = 0;
+          responses_sent = 0;
+          mac_failures = 0;
+          replays_suppressed = 0;
+          timeouts = 0;
+        };
+    }
+  in
+  Net.register net ~id:node_id ?config:net_config (on_packet t);
+  t
+
+let node_id t = t.node_id
+let stats t = t.stats
+let enclave t = t.enclave
+let register t ~kind handler = Hashtbl.replace t.handlers kind handler
+
+let call t ~dst ~kind ?coord ?tx_seq ?op_id ?timeout_ns payload =
+  let timeout_ns = Option.value timeout_ns ~default:t.config.timeout_ns in
+  t.next_req_id <- t.next_req_id + 1;
+  let req_id = t.next_req_id in
+  let coord = Option.value coord ~default:t.node_id in
+  let tx_seq =
+    match tx_seq with
+    | Some s -> s
+    | None ->
+        (* Non-transactional call: fresh identity, unique across endpoint
+           incarnations, so peer dedup caches never serve a stale reply. *)
+        t.next_tx_seq <- t.next_tx_seq + 1;
+        -((t.epoch * 1_000_000) + t.next_tx_seq)
+  in
+  let op_id = Option.value op_id ~default:req_id in
+  let meta =
+    {
+      Secure_msg.coord;
+      tx_seq;
+      op_id;
+      src = t.node_id;
+      kind;
+      is_response = false;
+      req_id;
+    }
+  in
+  t.stats.requests_sent <- t.stats.requests_sent + 1;
+  let iv = Sim.ivar () in
+  Hashtbl.replace t.pending req_id iv;
+  send_wire t ~dst meta payload;
+  match Sim.read_timeout t.sim ~ns:timeout_ns iv with
+  | Some r -> r
+  | None ->
+      Hashtbl.remove t.pending req_id;
+      t.stats.timeouts <- t.stats.timeouts + 1;
+      Error `Timeout
+
+let forget_tx t ~coord ~tx_seq =
+  match Hashtbl.find_opt t.dedup_by_tx (coord, tx_seq) with
+  | None -> ()
+  | Some ops ->
+      List.iter (fun op -> Hashtbl.remove t.dedup (coord, tx_seq, op)) !ops;
+      Hashtbl.remove t.dedup_by_tx (coord, tx_seq)
+
+let shutdown t =
+  t.alive <- false;
+  Net.unregister t.net ~id:t.node_id

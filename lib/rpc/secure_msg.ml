@@ -1,0 +1,89 @@
+module Aead = Treaty_crypto.Aead
+
+type meta = {
+  coord : int;
+  tx_seq : int;
+  op_id : int;
+  src : int;
+  kind : int;
+  is_response : bool;
+  req_id : int;
+}
+
+let meta_size = 80
+let pad_size = 4
+
+type security = Plain | Secure of Aead.key
+
+let put64 b off v =
+  for i = 0 to 7 do
+    Bytes.set b (off + i) (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let get64 s off =
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v
+
+let encode_meta m =
+  let b = Bytes.make meta_size '\000' in
+  put64 b 0 m.coord;
+  put64 b 8 m.tx_seq;
+  put64 b 16 m.op_id;
+  put64 b 24 m.src;
+  put64 b 32 m.kind;
+  put64 b 40 (if m.is_response then 1 else 0);
+  put64 b 48 m.req_id;
+  Bytes.unsafe_to_string b
+
+let decode_meta s off =
+  {
+    coord = get64 s off;
+    tx_seq = get64 s (off + 8);
+    op_id = get64 s (off + 16);
+    src = get64 s (off + 24);
+    kind = get64 s (off + 32);
+    is_response = get64 s (off + 40) = 1;
+    req_id = get64 s (off + 48);
+  }
+
+let at_most_once_key m = (m.coord, m.tx_seq, m.op_id)
+
+let encode security ~iv_gen m data =
+  match security with
+  | Plain -> "P" ^ encode_meta m ^ data
+  | Secure key ->
+      let iv = Aead.Iv_gen.next iv_gen in
+      let ct, mac = Aead.seal key ~iv (encode_meta m ^ data) in
+      "S" ^ iv ^ String.make pad_size '\000' ^ ct ^ mac
+
+let decode security wire =
+  let n = String.length wire in
+  match security with
+  | Plain ->
+      if n < 1 + meta_size || wire.[0] <> 'P' then Error `Malformed
+      else
+        Ok (decode_meta wire 1, String.sub wire (1 + meta_size) (n - 1 - meta_size))
+  | Secure key ->
+      let hdr = 1 + Aead.iv_size + pad_size in
+      if
+        n < hdr + meta_size + Aead.mac_size
+        || wire.[0] <> 'S'
+        || String.sub wire (1 + Aead.iv_size) pad_size <> String.make pad_size '\000'
+      then Error `Malformed
+      else begin
+        let iv = String.sub wire 1 Aead.iv_size in
+        let ct_len = n - hdr - Aead.mac_size in
+        let ct = String.sub wire hdr ct_len in
+        let mac = String.sub wire (hdr + ct_len) Aead.mac_size in
+        match Aead.open_ key ~iv ~mac ct with
+        | Error `Mac_mismatch -> Error `Tampered
+        | Ok pt -> Ok (decode_meta pt 0, String.sub pt meta_size (String.length pt - meta_size))
+      end
+
+let wire_size security ~data_len =
+  match security with
+  | Plain -> 1 + meta_size + data_len
+  | Secure _ -> 1 + Aead.iv_size + pad_size + meta_size + data_len + Aead.mac_size

@@ -1,0 +1,44 @@
+(** Treaty's secure message layout (§VII-A).
+
+    On the wire a secure message is
+
+    {v IV (12 B) | pad (4 B) | enc( metadata (80 B) | data ) | MAC (16 B) v}
+
+    Metadata carries the coordinator node id, the transaction id
+    (monotonically incremented at the coordinator) and the operation id —
+    the unique triple that gives at-most-once execution — plus RPC plumbing
+    (source node, handler kind, response flag, request id). Only metadata and
+    data are encrypted; if the IV or MAC is altered the integrity check
+    fails. Plain mode (the native baselines) sends the same metadata
+    unencrypted with no IV/MAC. *)
+
+type meta = {
+  coord : int;  (** Coordinator node id (8 B on the wire). *)
+  tx_seq : int;  (** Tx id, monotonic per coordinator (8 B). *)
+  op_id : int;  (** Operation id, unique within the Tx (8 B). *)
+  src : int;  (** Sending node. *)
+  kind : int;  (** Request-handler selector. *)
+  is_response : bool;
+  req_id : int;  (** RPC-level id matching a response to its request. *)
+}
+
+val meta_size : int
+(** 80 bytes, as in the paper. *)
+
+val at_most_once_key : meta -> int * int * int
+(** The (coord, tx, op) triple that must never execute twice. *)
+
+type security = Plain | Secure of Treaty_crypto.Aead.key
+
+val encode :
+  security -> iv_gen:Treaty_crypto.Aead.Iv_gen.t -> meta -> string -> string
+(** Wire-encode metadata and payload data. *)
+
+val decode :
+  security -> string -> (meta * string, [ `Tampered | `Malformed ]) result
+(** [`Tampered] is a MAC mismatch — the signature of an adversary on the
+    wire; [`Malformed] a structurally invalid message. A plain-mode decoder
+    applied to a secure message (or vice versa) is [`Malformed]. *)
+
+val wire_size : security -> data_len:int -> int
+(** Size of the encoded message for a payload of [data_len] bytes. *)

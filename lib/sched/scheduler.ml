@@ -1,0 +1,93 @@
+type t = {
+  runq : (unit -> unit) Queue.t;
+  mutable live : int;
+}
+
+type _ Effect.t +=
+  | Yield : t -> unit Effect.t
+  | Suspend : t * ((unit -> unit) -> unit) -> unit Effect.t
+
+let create () = { runq = Queue.create (); live = 0 }
+
+let handler t =
+  let open Effect.Deep in
+  {
+    retc = (fun () -> t.live <- t.live - 1);
+    exnc = (fun e -> t.live <- t.live - 1; raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield _ ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                Queue.push (fun () -> continue k ()) t.runq)
+        | Suspend (_, register) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                register (fun () -> Queue.push (fun () -> continue k ()) t.runq))
+        | _ -> None);
+  }
+
+let spawn t f =
+  t.live <- t.live + 1;
+  Queue.push (fun () -> Effect.Deep.match_with f () (handler t)) t.runq
+
+let yield t = Effect.perform (Yield t)
+let suspend t register = Effect.perform (Suspend (t, register))
+
+let run_pending t =
+  while not (Queue.is_empty t.runq) do
+    (Queue.pop t.runq) ()
+  done
+
+let live_fibers t = t.live
+
+module Ivar = struct
+  type 'a state = Empty of ('a -> unit) list | Full of 'a
+  type 'a ivar = { mutable st : 'a state }
+
+  let create () = { st = Empty [] }
+
+  let try_fill iv v =
+    match iv.st with
+    | Full _ -> false
+    | Empty waiters ->
+        iv.st <- Full v;
+        List.iter (fun w -> w v) (List.rev waiters);
+        true
+
+  let on_fill iv f =
+    match iv.st with
+    | Full v -> f v
+    | Empty ws -> iv.st <- Empty (f :: ws)
+
+  let fill iv v =
+    if not (try_fill iv v) then invalid_arg "Ivar.fill: already full"
+
+  let is_full iv = match iv.st with Full _ -> true | Empty _ -> false
+  let peek iv = match iv.st with Full v -> Some v | Empty _ -> None
+
+  let read sched iv =
+    match iv.st with
+    | Full v -> v
+    | Empty _ ->
+        suspend sched (fun waker -> on_fill iv (fun _ -> waker ()));
+        (match iv.st with
+        | Full v -> v
+        | Empty _ -> assert false)
+end
+
+module Latch = struct
+  type latch = { mutable remaining : int; done_ : unit Ivar.ivar }
+
+  let create n =
+    let l = { remaining = n; done_ = Ivar.create () } in
+    if n <= 0 then Ivar.fill l.done_ ();
+    l
+
+  let arrive l =
+    l.remaining <- l.remaining - 1;
+    if l.remaining = 0 then ignore (Ivar.try_fill l.done_ ())
+
+  let wait sched l = Ivar.read sched l.done_
+end

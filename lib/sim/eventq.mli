@@ -1,0 +1,25 @@
+(** Discrete-event priority queue.
+
+    Events are (time, callback) pairs ordered by time, with FIFO order among
+    equal timestamps. Events can be cancelled in O(1); cancelled entries are
+    skipped lazily when popped. *)
+
+type t
+type handle
+
+val create : unit -> t
+val is_empty : t -> bool
+val size : t -> int
+
+val add : t -> time:int -> (unit -> unit) -> handle
+(** Schedule a callback at absolute simulated time [time] (nanoseconds). *)
+
+val cancel : handle -> unit
+(** Cancel a scheduled event. Idempotent; a fired event cannot be
+    cancelled. *)
+
+val pop : t -> (int * (unit -> unit)) option
+(** Remove and return the earliest live event, skipping cancelled ones. *)
+
+val next_time : t -> int option
+(** Timestamp of the earliest live event without removing it. *)

@@ -1,0 +1,96 @@
+module Scheduler = Treaty_sched.Scheduler
+
+type t = {
+  scheduler : Scheduler.t;
+  events : Eventq.t;
+  mutable clock : int;
+  root_rng : Rng.t;
+}
+
+let create ?(seed = 0x7E47E47E4L) () =
+  {
+    scheduler = Scheduler.create ();
+    events = Eventq.create ();
+    clock = 0;
+    root_rng = Rng.create seed;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+let sched t = t.scheduler
+let spawn t f = Scheduler.spawn t.scheduler f
+let yield t = Scheduler.yield t.scheduler
+
+let at t ~time fn =
+  if time < t.clock then invalid_arg "Sim.at: time in the past";
+  Eventq.add t.events ~time fn
+
+let after t ~ns fn = at t ~time:(t.clock + ns) fn
+
+let sleep t ns =
+  if ns > 0 then
+    Scheduler.suspend t.scheduler (fun waker ->
+        ignore (after t ~ns (fun () -> waker ())))
+  else yield t
+
+let run t main =
+  spawn t main;
+  let rec loop () =
+    Scheduler.run_pending t.scheduler;
+    match Eventq.pop t.events with
+    | Some (time, fn) ->
+        if time > t.clock then t.clock <- time;
+        fn ();
+        loop ()
+    | None -> ()
+  in
+  loop ()
+
+type 'a ivar = 'a Scheduler.Ivar.ivar
+
+let ivar () = Scheduler.Ivar.create ()
+let fill iv v = Scheduler.Ivar.fill iv v
+let try_fill iv v = Scheduler.Ivar.try_fill iv v
+let read t iv = Scheduler.Ivar.read t.scheduler iv
+
+let read_timeout t ~ns iv =
+  let out = Scheduler.Ivar.create () in
+  let timer = after t ~ns (fun () -> ignore (Scheduler.Ivar.try_fill out None)) in
+  Scheduler.Ivar.on_fill iv (fun v ->
+      if Scheduler.Ivar.try_fill out (Some v) then Eventq.cancel timer);
+  Scheduler.Ivar.read t.scheduler out
+
+module Resource = struct
+  type resource = {
+    sim : t;
+    name : string;
+    capacity : int;
+    mutable used : int;
+    waiters : (unit -> unit) Queue.t;
+    mutable busy : int;
+  }
+
+  let create sim ~capacity name =
+    if capacity <= 0 then invalid_arg "Resource.create: capacity";
+    { sim; name; capacity; used = 0; waiters = Queue.create (); busy = 0 }
+
+  let acquire r =
+    if r.used < r.capacity then r.used <- r.used + 1
+    else
+      Scheduler.suspend r.sim.scheduler (fun waker -> Queue.push waker r.waiters)
+
+  let release r =
+    match Queue.take_opt r.waiters with
+    | Some waker -> waker () (* hand the slot directly to the next waiter *)
+    | None -> r.used <- r.used - 1
+
+  let consume r ns =
+    acquire r;
+    r.busy <- r.busy + ns;
+    sleep r.sim ns;
+    release r
+
+  let in_use r = r.used
+  let queue_length r = Queue.length r.waiters
+  let busy_ns r = r.busy
+end

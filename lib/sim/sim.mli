@@ -1,0 +1,67 @@
+(** Deterministic discrete-event simulation engine.
+
+    Combines the fiber scheduler ({!Treaty_sched.Scheduler}) with an event
+    queue and a simulated clock. Fibers advance simulated time only by
+    blocking ([sleep], [Ivar] waits with [timeout], {!Resource} queueing);
+    everything in between is instantaneous in simulated time. [run] drives
+    the simulation to quiescence: it returns when no fiber is runnable and no
+    event is pending. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+val now : t -> int
+(** Current simulated time in nanoseconds. *)
+
+val rng : t -> Rng.t
+(** The root RNG stream; components should [Rng.split] it. *)
+
+val sched : t -> Treaty_sched.Scheduler.t
+
+val spawn : t -> (unit -> unit) -> unit
+val yield : t -> unit
+
+val sleep : t -> int -> unit
+(** Block the current fiber for [ns] simulated nanoseconds. *)
+
+val at : t -> time:int -> (unit -> unit) -> Eventq.handle
+(** Schedule a callback at an absolute simulated time (>= now). *)
+
+val after : t -> ns:int -> (unit -> unit) -> Eventq.handle
+(** Schedule a callback [ns] nanoseconds from now. *)
+
+val run : t -> (unit -> unit) -> unit
+(** [run t main] spawns [main] and drives fibers and events until both the
+    run queue and the event queue are exhausted. Fibers still suspended on
+    never-filled ivars are abandoned. *)
+
+type 'a ivar = 'a Treaty_sched.Scheduler.Ivar.ivar
+
+val ivar : unit -> 'a ivar
+val fill : 'a ivar -> 'a -> unit
+val try_fill : 'a ivar -> 'a -> bool
+val read : t -> 'a ivar -> 'a
+
+val read_timeout : t -> ns:int -> 'a ivar -> 'a option
+(** Wait for the ivar, giving up after [ns] simulated nanoseconds. The timer
+    is cancelled if the ivar fills first. *)
+
+(** A simulated multi-server resource (CPU cores, an SSD channel, a NIC):
+    [capacity] concurrent holders, FIFO waiting. Models saturation: once all
+    servers are busy, additional work queues and latency grows. *)
+module Resource : sig
+  type resource
+
+  val create : t -> capacity:int -> string -> resource
+  val acquire : resource -> unit
+  val release : resource -> unit
+
+  val consume : resource -> int -> unit
+  (** [consume r ns] = acquire a server, hold it for [ns] simulated
+      nanoseconds, release. *)
+
+  val in_use : resource -> int
+  val queue_length : resource -> int
+  val busy_ns : resource -> int
+  (** Total server-busy nanoseconds accumulated (for utilisation stats). *)
+end

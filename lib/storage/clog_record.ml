@@ -1,0 +1,36 @@
+module Wire = Treaty_util.Wire
+
+type record =
+  | Begin_2pc of { tx_seq : int; participants : int list }
+  | Decision of { tx_seq : int; commit : bool }
+  | Finished of { tx_seq : int }
+
+let encode record =
+  let b = Buffer.create 32 in
+  (match record with
+  | Begin_2pc { tx_seq; participants } ->
+      Wire.w8 b 1;
+      Wire.w64 b tx_seq;
+      Wire.wlist b Wire.w64 participants
+  | Decision { tx_seq; commit } ->
+      Wire.w8 b 2;
+      Wire.w64 b tx_seq;
+      Wire.wbool b commit
+  | Finished { tx_seq } ->
+      Wire.w8 b 3;
+      Wire.w64 b tx_seq);
+  Buffer.contents b
+
+let decode payload =
+  let r = Wire.reader payload in
+  match Wire.r8 r with
+  | 1 ->
+      let tx_seq = Wire.r64 r in
+      let participants = Wire.rlist r Wire.r64 in
+      Begin_2pc { tx_seq; participants }
+  | 2 ->
+      let tx_seq = Wire.r64 r in
+      let commit = Wire.rbool r in
+      Decision { tx_seq; commit }
+  | 3 -> Finished { tx_seq = Wire.r64 r }
+  | n -> raise (Wire.Malformed (Printf.sprintf "bad clog record tag %d" n))

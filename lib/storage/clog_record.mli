@@ -1,0 +1,16 @@
+(** Clog record format (§V-A, §VII-B).
+
+    The Clog is Treaty's addition to SPEICHER's persistent structures: the
+    coordinator-side log of 2PC protocol state. [Begin_2pc] is written when
+    the coordinator starts preparing a distributed transaction (step 5 in
+    Figure 2); [Decision] records the commit/abort decision, which must be
+    *stabilized* before participants are told to commit (steps 6–7);
+    [Finished] marks full resolution so the entry can be trimmed. *)
+
+type record =
+  | Begin_2pc of { tx_seq : int; participants : int list }
+  | Decision of { tx_seq : int; commit : bool }
+  | Finished of { tx_seq : int }
+
+val encode : record -> string
+val decode : string -> record

@@ -1,0 +1,866 @@
+module Sim = Treaty_sim.Sim
+module Enclave = Treaty_tee.Enclave
+
+type stability = {
+  submit : log:string -> counter:int -> unit;
+  wait_stable : log:string -> counter:int -> unit;
+}
+
+let noop_stability =
+  { submit = (fun ~log:_ ~counter:_ -> ()); wait_stable = (fun ~log:_ ~counter:_ -> ()) }
+
+type config = {
+  memtable_max_bytes : int;
+  block_bytes : int;
+  file_bytes : int;
+  l0_trigger : int;
+  level_base_bytes : int;
+  group_commit : bool;
+  group_window_ns : int;
+  values_in_enclave : bool;
+  wait_commit_stable : bool;
+  in_memory : bool;
+}
+
+let default_config =
+  {
+    memtable_max_bytes = 4 * 1024 * 1024;
+    block_bytes = 4096;
+    file_bytes = 2 * 1024 * 1024;
+    l0_trigger = 4;
+    level_base_bytes = 16 * 1024 * 1024;
+    group_commit = true;
+    group_window_ns = 15_000;
+    values_in_enclave = false;
+    wait_commit_stable = true;
+    in_memory = false;
+  }
+
+type stats = {
+  mutable gets : int;
+  mutable commits : int;
+  mutable prepares : int;
+  mutable flushes : int;
+  mutable compactions : int;
+  mutable sst_block_reads : int;
+  mutable wal_appends : int;
+}
+
+type recovery_info = {
+  prepared : (Wal_record.txid * (string * Op.t) list) list;
+  clog_records : (int * Clog_record.record) list;
+  wal_entries_dropped : int;
+  clog_entries_dropped : int;
+}
+
+let n_levels = 8
+let manifest_log = "MANIFEST"
+let clog_log = "CLOG"
+
+type level_file = { meta : Manifest.file_meta; handle : Sstable.handle }
+
+type commit_item = {
+  cwrites : (string * Op.t) list;
+  mutable cseq : int;
+}
+
+type t = {
+  sim : Sim.t;
+  ssd : Ssd.t;
+  sec : Sec.t;
+  config : config;
+  stability : stability;
+  manifest : Log_auth.t;
+  clog : Log_auth.t;
+  mutable wal : Log_auth.t;
+  mutable wal_id : int;
+  mutable wal_manifest_counter : int;
+      (* MANIFEST counter of the New_wal edit registering the current WAL: a
+         commit is only rollback-protected once the WAL entry AND the edit
+         that makes recovery replay that WAL are both stable. *)
+  mutable memtable : Memtable.t;
+  mutable immutables : (Memtable.t * int) list;  (* with their WAL id, newest first *)
+  levels : level_file list array;  (* mutable via Array.set *)
+  mutable next_file_id : int;
+  mutable last_alloc_seq : int;
+  mutable visible_seq : int;
+  commit_lock : Sim.Resource.resource;
+  mutable group : commit_item Group_commit.t option;
+  prepared : (Wal_record.txid, (string * Op.t) list * int (* wal id *)) Hashtbl.t;
+  wal_unresolved : (int, int ref) Hashtbl.t;  (* wal id -> live prepare count *)
+  active_snapshots : (int, int) Hashtbl.t;  (* snapshot seq -> refcount *)
+  mutable flushing : bool;
+  mutable compacting : bool;
+  ephemeral_counters : (string, int ref) Hashtbl.t;
+      (* Synthetic per-log counters for the in-memory (no-storage) mode. *)
+  stats : stats;
+}
+
+let ephemeral_counter t name =
+  let r =
+    match Hashtbl.find_opt t.ephemeral_counters name with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.replace t.ephemeral_counters name r;
+        r
+  in
+  incr r;
+  !r
+
+let sim t = t.sim
+let sec t = t.sec
+let stats t = t.stats
+let config t = t.config
+let snapshot t = t.visible_seq
+
+let next_seq t =
+  t.last_alloc_seq <- t.last_alloc_seq + 1;
+  t.last_alloc_seq
+
+let enclave t = Sec.enclave t.sec
+
+(* Small in-enclave compute constants on the read/write path. *)
+let probe_ns = 280
+
+let fresh_stats () =
+  {
+    gets = 0;
+    commits = 0;
+    prepares = 0;
+    flushes = 0;
+    compactions = 0;
+    sst_block_reads = 0;
+    wal_appends = 0;
+  }
+
+let manifest_append t edit =
+  if t.config.in_memory then ephemeral_counter t manifest_log
+  else begin
+    let c = Log_auth.append t.manifest (Manifest.encode edit) in
+    t.stability.submit ~log:manifest_log ~counter:c;
+    c
+  end
+
+let wal_append t record =
+  t.stats.wal_appends <- t.stats.wal_appends + 1;
+  if t.config.in_memory then ephemeral_counter t (Log_auth.name t.wal)
+  else begin
+    let c = Log_auth.append t.wal (Wal_record.encode record) in
+    t.stability.submit ~log:(Log_auth.name t.wal) ~counter:c;
+    c
+  end
+
+(* --- construction --------------------------------------------------- *)
+
+let mk_group t =
+  Group_commit.create t.sim ~window_ns:t.config.group_window_ns
+    ~flush:(fun items ->
+      (* Sequence, persist and apply the whole group atomically with respect
+         to other WAL writers. *)
+      Sim.Resource.acquire t.commit_lock;
+      Fun.protect ~finally:(fun () -> Sim.Resource.release t.commit_lock)
+      @@ fun () ->
+      List.iter (fun it -> it.cseq <- next_seq t) items;
+      let record =
+        Wal_record.Commit_batch (List.map (fun it -> (it.cseq, it.cwrites)) items)
+      in
+      let counter = wal_append t record in
+      List.iter
+        (fun it ->
+          List.iter
+            (fun (key, op) ->
+              Enclave.charge_engine_op ~lsm:(not t.config.in_memory)
+                (Sec.enclave t.sec) ~bytes:(Op.size op);
+              Memtable.add t.memtable ~key ~seq:it.cseq op)
+            it.cwrites)
+        items;
+      t.visible_seq <- t.last_alloc_seq;
+      counter)
+
+let create_internal sim ssd sec cfg stability =
+  let t =
+    {
+      sim;
+      ssd;
+      sec;
+      config = cfg;
+      stability;
+      manifest = Log_auth.create ssd sec ~name:manifest_log;
+      clog = Log_auth.create ssd sec ~name:clog_log;
+      wal = Log_auth.create ssd sec ~name:(Manifest.wal_name 1);
+      wal_id = 1;
+      wal_manifest_counter = 0;
+      memtable = Memtable.create ~values_in_enclave:cfg.values_in_enclave sec;
+      immutables = [];
+      levels = Array.make n_levels [];
+      next_file_id = 1;
+      last_alloc_seq = 0;
+      visible_seq = 0;
+      commit_lock = Sim.Resource.create sim ~capacity:1 "commit";
+      group = None;
+      prepared = Hashtbl.create 32;
+      wal_unresolved = Hashtbl.create 8;
+      active_snapshots = Hashtbl.create 64;
+      flushing = false;
+      compacting = false;
+      ephemeral_counters = Hashtbl.create 8;
+      stats = fresh_stats ();
+    }
+  in
+  if cfg.group_commit then t.group <- Some (mk_group t);
+  t
+
+let create ssd sec cfg stability =
+  let t = create_internal (Ssd.sim ssd) ssd sec cfg stability in
+  t.wal_manifest_counter <- manifest_append t (Manifest.New_wal { wal_id = 1 });
+  t
+
+(* --- reads ----------------------------------------------------------- *)
+
+let min_active_snapshot t =
+  Hashtbl.fold (fun s _ acc -> min s acc) t.active_snapshots t.visible_seq
+
+let retain_snapshot t s =
+  Hashtbl.replace t.active_snapshots s
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.active_snapshots s))
+
+let release_snapshot t s =
+  match Hashtbl.find_opt t.active_snapshots s with
+  | Some 1 -> Hashtbl.remove t.active_snapshots s
+  | Some n -> Hashtbl.replace t.active_snapshots s (n - 1)
+  | None -> ()
+
+let internal_compare (k1, s1, _) (k2, s2, _) =
+  match String.compare k1 k2 with 0 -> compare s2 s1 | c -> c
+
+let lookup_of_sst = function
+  | Some (seq, Op.Put v) -> Memtable.Found (seq, v)
+  | Some (seq, Op.Delete) -> Memtable.Deleted seq
+  | None -> Memtable.Not_found
+
+let rec get_attempt t ~key ~snapshot attempts =
+  let e = enclave t in
+  Enclave.compute_storage e probe_ns;
+  match Memtable.get t.memtable ~key ~max_seq:snapshot with
+  | (Memtable.Found _ | Memtable.Deleted _) as r -> r
+  | Memtable.Not_found -> (
+      let from_immutables =
+        List.fold_left
+          (fun acc (mt, _) ->
+            match acc with
+            | Memtable.Not_found ->
+                Enclave.compute e probe_ns;
+                Memtable.get mt ~key ~max_seq:snapshot
+            | found -> found)
+          Memtable.Not_found t.immutables
+      in
+      match from_immutables with
+      | (Memtable.Found _ | Memtable.Deleted _) as r -> r
+      | Memtable.Not_found -> (
+          try
+            (* L0 files may overlap: newest first, all candidates. *)
+            let l0_hit =
+              List.fold_left
+                (fun acc lf ->
+                  match acc with
+                  | Some _ -> acc
+                  | None ->
+                      if Sstable.overlaps lf.handle ~min:key ~max:key then begin
+                        t.stats.sst_block_reads <- t.stats.sst_block_reads + 1;
+                        Enclave.compute e probe_ns;
+                        Sstable.get t.ssd t.sec lf.handle ~key ~max_seq:snapshot
+                      end
+                      else None)
+                None t.levels.(0)
+            in
+            match l0_hit with
+            | Some _ as hit -> lookup_of_sst hit
+            | None ->
+                let deep_hit = ref None in
+                let level = ref 1 in
+                while !deep_hit = None && !level < n_levels do
+                  (match
+                     List.find_opt
+                       (fun lf -> Sstable.overlaps lf.handle ~min:key ~max:key)
+                       t.levels.(!level)
+                   with
+                  | Some lf ->
+                      t.stats.sst_block_reads <- t.stats.sst_block_reads + 1;
+                      Enclave.compute e probe_ns;
+                      deep_hit := Sstable.get t.ssd t.sec lf.handle ~key ~max_seq:snapshot
+                  | None -> ());
+                  incr level
+                done;
+                lookup_of_sst !deep_hit
+          with Invalid_argument _ when attempts > 0 ->
+            (* A compaction deleted a file under us between the index lookup
+               and the block read; the new version has the data. *)
+            get_attempt t ~key ~snapshot (attempts - 1)))
+
+let scan t ~lo ~hi ~snapshot =
+  if lo > hi then []
+  else begin
+    let e = enclave t in
+    Enclave.compute_storage e probe_ns;
+    let sources =
+      (Memtable.range t.memtable ~lo ~hi ~max_seq:snapshot
+      :: List.map (fun (mt, _) -> Memtable.range mt ~lo ~hi ~max_seq:snapshot) t.immutables)
+      @ List.concat_map
+          (fun level ->
+            List.filter_map
+              (fun lf ->
+                if Sstable.overlaps lf.handle ~min:lo ~max:hi then begin
+                  t.stats.sst_block_reads <- t.stats.sst_block_reads + 1;
+                  Some (Sstable.range t.ssd t.sec lf.handle ~lo ~hi ~max_seq:snapshot)
+                end
+                else None)
+              level)
+          (Array.to_list t.levels)
+    in
+    let merged =
+      List.fold_left (fun acc es -> List.merge internal_compare acc es) [] sources
+    in
+    (* Internal-key order: the first version of each key is the freshest
+       visible one. *)
+    let rec dedupe acc = function
+      | [] -> List.rev acc
+      | (key, _, op) :: rest ->
+          let rest = List.filter (fun (k, _, _) -> k <> key) rest in
+          let acc =
+            match op with
+            | Op.Put v ->
+                Enclave.charge_engine_op ~lsm:(not t.config.in_memory) e
+                  ~bytes:(String.length v);
+                (key, v) :: acc
+            | Op.Delete -> acc
+          in
+          dedupe acc rest
+    in
+    dedupe [] merged
+  end
+
+let get t ~key ~snapshot =
+  t.stats.gets <- t.stats.gets + 1;
+  let r = get_attempt t ~key ~snapshot 3 in
+  let bytes =
+    match r with Memtable.Found (_, v) -> String.length v | _ -> 0
+  in
+  Enclave.charge_engine_op ~lsm:(not t.config.in_memory) (enclave t) ~bytes;
+  r
+
+(* --- flush & compaction ---------------------------------------------- *)
+
+let level_bytes t l =
+  List.fold_left (fun acc lf -> acc + lf.meta.Manifest.size) 0 t.levels.(l)
+
+let level_max_bytes t l =
+  let rec pow10 n = if n <= 0 then 1 else 10 * pow10 (n - 1) in
+  t.config.level_base_bytes * pow10 (l - 1)
+
+let alloc_file_id t =
+  let id = t.next_file_id in
+  t.next_file_id <- id + 1;
+  id
+
+let meta_of_entries ~file_id ~level ~footer_digest ~size entries =
+  let min_key = (fun (k, _, _) -> k) (List.hd entries) in
+  let max_key = (fun (k, _, _) -> k) (List.nth entries (List.length entries - 1)) in
+  let max_seq = List.fold_left (fun acc (_, s, _) -> max acc s) 0 entries in
+  { Manifest.file_id; level; footer_digest; min_key; max_key; max_seq; size }
+
+(* Keep, per user key: every version newer than the oldest active snapshot,
+   plus the newest version at or below it. Tombstones may additionally be
+   dropped when the output is the bottommost populated level. *)
+let gc_entries ~min_active ~bottommost entries =
+  (* Group by key (input is sorted by internal key), then filter within each
+     group. *)
+  let groups =
+    List.fold_left
+      (fun acc ((k, _, _) as e) ->
+        match acc with
+        | (gk, g) :: tl when gk = k -> (gk, e :: g) :: tl
+        | _ -> (k, [ e ]) :: acc)
+      [] entries
+    |> List.rev_map (fun (k, g) -> (k, List.rev g))
+  in
+  (* [groups] is in key-ascending order with each group's versions in
+     seq-descending order — already the internal-key order the output must
+     preserve (a descending-seq violation would make lookups return stale
+     versions). *)
+  List.concat_map
+    (fun (_, versions) ->
+      let newer, older = List.partition (fun (_, s, _) -> s > min_active) versions in
+      let kept = newer @ (match older with [] -> [] | newest_old :: _ -> [ newest_old ]) in
+      match kept with
+      | [ (_, _, Op.Delete) ] when bottommost && newer = [] -> []
+      | kept -> kept)
+    groups
+
+let build_files t ~level entries =
+  (* Split into files of roughly [file_bytes], never splitting a user key. *)
+  let files = ref [] and cur = ref [] and cur_bytes = ref 0 in
+  let flush_cur () =
+    if !cur <> [] then begin
+      files := List.rev !cur :: !files;
+      cur := [];
+      cur_bytes := 0
+    end
+  in
+  List.iter
+    (fun ((key, _, op) as e) ->
+      let sz = String.length key + 16 + Op.size op in
+      let same_key = match !cur with (k, _, _) :: _ -> k = key | [] -> false in
+      if !cur_bytes + sz > t.config.file_bytes && !cur <> [] && not same_key then
+        flush_cur ();
+      cur := e :: !cur;
+      cur_bytes := !cur_bytes + sz)
+    entries;
+  flush_cur ();
+  List.rev_map
+    (fun file_entries ->
+      let file_id = alloc_file_id t in
+      let handle, footer_digest =
+        Sstable.build t.ssd t.sec ~file_id ~block_bytes:t.config.block_bytes
+          file_entries
+      in
+      let meta =
+        meta_of_entries ~file_id ~level ~footer_digest
+          ~size:(Sstable.data_bytes handle) file_entries
+      in
+      { meta; handle })
+    !files
+  |> List.rev
+
+let bottommost_below t l =
+  let rec check i = i >= n_levels || (t.levels.(i) = [] && check (i + 1)) in
+  check (l + 1)
+
+let rec maybe_compact t =
+  if not t.compacting then begin
+    let target =
+      if List.length t.levels.(0) >= t.config.l0_trigger then Some 0
+      else
+        let rec find l =
+          if l >= n_levels - 1 then None
+          else if level_bytes t l > level_max_bytes t l then Some l
+          else find (l + 1)
+        in
+        find 1
+    in
+    match target with
+    | None -> ()
+    | Some l ->
+        t.compacting <- true;
+        Fun.protect ~finally:(fun () -> t.compacting <- false) (fun () -> compact t l);
+        maybe_compact t
+  end
+
+and compact t l =
+  t.stats.compactions <- t.stats.compactions + 1;
+  let srcs = t.levels.(l) in
+  if srcs = [] then ()
+  else begin
+    let min_key =
+      List.fold_left (fun acc lf -> min acc lf.meta.Manifest.min_key)
+        (List.hd srcs).meta.Manifest.min_key srcs
+    and max_key =
+      List.fold_left (fun acc lf -> max acc lf.meta.Manifest.max_key)
+        (List.hd srcs).meta.Manifest.max_key srcs
+    in
+    let overlapping, disjoint =
+      List.partition
+        (fun lf -> Sstable.overlaps lf.handle ~min:min_key ~max:max_key)
+        t.levels.(l + 1)
+    in
+    let inputs = srcs @ overlapping in
+    let entries =
+      List.map (fun lf -> Sstable.load_all t.ssd t.sec lf.handle) inputs
+      |> List.fold_left (fun acc es -> List.merge internal_compare acc es) []
+      |> List.sort_uniq internal_compare
+    in
+    let entries =
+      gc_entries ~min_active:(min_active_snapshot t)
+        ~bottommost:(bottommost_below t (l + 1))
+        entries
+    in
+    let outputs = if entries = [] then [] else build_files t ~level:(l + 1) entries in
+    (* Record the whole compaction in the MANIFEST, then swap levels. *)
+    List.iter (fun lf -> ignore (manifest_append t (Manifest.Add_file lf.meta))) outputs;
+    let last_edit =
+      List.fold_left
+        (fun _ lf ->
+          manifest_append t
+            (Manifest.Delete_file
+               { level = lf.meta.Manifest.level; file_id = lf.meta.Manifest.file_id }))
+        0 inputs
+    in
+    (* A flush may have added new L0 files while this compaction ran: remove
+       only the inputs. *)
+    t.levels.(l) <- List.filter (fun lf -> not (List.memq lf srcs)) t.levels.(l);
+    t.levels.(l + 1) <-
+      List.sort
+        (fun a b -> compare a.meta.Manifest.min_key b.meta.Manifest.min_key)
+        (disjoint @ outputs);
+    (* Defer deleting inputs until the MANIFEST records are stable (§VI). *)
+    let names = List.map (fun lf -> Sstable.file_name ~file_id:lf.meta.Manifest.file_id) inputs in
+    Sim.spawn t.sim (fun () ->
+        t.stability.wait_stable ~log:manifest_log ~counter:last_edit;
+        List.iter (Ssd.delete t.ssd) names)
+  end
+
+let wal_unresolved_count t wal_id =
+  match Hashtbl.find_opt t.wal_unresolved wal_id with
+  | Some r -> !r
+  | None -> 0
+
+let flush_oldest_immutable t =
+  match List.rev t.immutables with
+  | [] -> ()
+  | (mt, old_wal_id) :: _ ->
+      t.stats.flushes <- t.stats.flushes + 1;
+      let entries = Memtable.to_sorted mt in
+      let last_edit = ref 0 in
+      if entries <> [] then begin
+        let file_id = alloc_file_id t in
+        let handle, footer_digest =
+          Sstable.build t.ssd t.sec ~file_id ~block_bytes:t.config.block_bytes entries
+        in
+        let meta =
+          meta_of_entries ~file_id ~level:0 ~footer_digest
+            ~size:(Sstable.data_bytes handle) entries
+        in
+        last_edit := manifest_append t (Manifest.Add_file meta);
+        t.levels.(0) <- { meta; handle } :: t.levels.(0)
+      end;
+      (* The WAL can only retire when its prepared txs are all resolved. *)
+      while wal_unresolved_count t old_wal_id > 0 do
+        Sim.sleep t.sim 200_000
+      done;
+      last_edit := manifest_append t (Manifest.Obsolete_wal { wal_id = old_wal_id });
+      t.immutables <-
+        List.filter (fun (_, wid) -> wid <> old_wal_id) t.immutables;
+      let edit = !last_edit in
+      Sim.spawn t.sim (fun () ->
+          t.stability.wait_stable ~log:manifest_log ~counter:edit;
+          Ssd.delete t.ssd (Manifest.wal_name old_wal_id);
+          Memtable.release mt);
+      maybe_compact t
+
+let rotate_memtable t =
+  let old_mt = t.memtable and old_wal_id = t.wal_id in
+  let new_id = old_wal_id + 1 in
+  t.wal_manifest_counter <- manifest_append t (Manifest.New_wal { wal_id = new_id });
+  t.wal <- Log_auth.create t.ssd t.sec ~name:(Manifest.wal_name new_id);
+  t.wal_id <- new_id;
+  t.memtable <- Memtable.create ~values_in_enclave:t.config.values_in_enclave t.sec;
+  t.immutables <- (old_mt, old_wal_id) :: t.immutables
+
+let maybe_flush t =
+  if
+    (not t.config.in_memory)
+    && Memtable.approx_bytes t.memtable > t.config.memtable_max_bytes
+    && List.length t.immutables < 4
+  then begin
+    rotate_memtable t;
+    if not t.flushing then begin
+      t.flushing <- true;
+      Sim.spawn t.sim (fun () ->
+          Fun.protect ~finally:(fun () -> t.flushing <- false) (fun () ->
+              while t.immutables <> [] do
+                flush_oldest_immutable t
+              done))
+    end
+  end
+
+let flush_now t =
+  if Memtable.entries t.memtable > 0 then rotate_memtable t;
+  while t.immutables <> [] do
+    flush_oldest_immutable t
+  done
+
+let compact_now t =
+  if not t.compacting then begin
+    t.compacting <- true;
+    Fun.protect ~finally:(fun () -> t.compacting <- false) (fun () ->
+        for l = 0 to n_levels - 2 do
+          if t.levels.(l) <> [] then compact t l
+        done)
+  end
+
+let level_files t l = List.length t.levels.(l)
+let memtable_handle t = t.memtable
+
+(* --- writes ----------------------------------------------------------- *)
+
+(* Rollback protection for an acknowledged entry in the current WAL: both
+   the WAL entry and the MANIFEST edit registering the WAL must be stable,
+   or trusted-prefix recovery would drop the WAL altogether. *)
+let wait_wal_entry_stable t ~counter =
+  if not t.config.in_memory then begin
+    t.stability.wait_stable ~log:(Log_auth.name t.wal) ~counter;
+    t.stability.wait_stable ~log:manifest_log ~counter:t.wal_manifest_counter
+  end
+
+let apply_writes t ~seq writes =
+  List.iter
+    (fun (key, op) ->
+      Enclave.charge_engine_op ~lsm:(not t.config.in_memory) (enclave t)
+        ~bytes:(Op.size op);
+      Memtable.add t.memtable ~key ~seq op)
+    writes
+
+let commit t ~writes =
+  t.stats.commits <- t.stats.commits + 1;
+  let counter, seq =
+    match t.group with
+    | Some group ->
+        let item = { cwrites = writes; cseq = 0 } in
+        let counter = Group_commit.submit group item in
+        (counter, item.cseq)
+    | None ->
+        Sim.Resource.acquire t.commit_lock;
+        Fun.protect ~finally:(fun () -> Sim.Resource.release t.commit_lock)
+        @@ fun () ->
+        let seq = next_seq t in
+        let counter = wal_append t (Wal_record.Commit_batch [ (seq, writes) ]) in
+        apply_writes t ~seq writes;
+        t.visible_seq <- t.last_alloc_seq;
+        (counter, seq)
+  in
+  if t.config.wait_commit_stable then wait_wal_entry_stable t ~counter;
+  maybe_flush t;
+  seq
+
+let prepare t ~tx ~writes =
+  t.stats.prepares <- t.stats.prepares + 1;
+  Sim.Resource.acquire t.commit_lock;
+  let counter, wal_id =
+    Fun.protect ~finally:(fun () -> Sim.Resource.release t.commit_lock)
+    @@ fun () ->
+    let counter = wal_append t (Wal_record.Prepare (tx, writes)) in
+    Hashtbl.replace t.prepared tx (writes, t.wal_id);
+    (match Hashtbl.find_opt t.wal_unresolved t.wal_id with
+    | Some r -> incr r
+    | None -> Hashtbl.replace t.wal_unresolved t.wal_id (ref 1));
+    (counter, t.wal_id)
+  in
+  ignore wal_id;
+  (* §V: participants only reply once the prepare entry is stabilized. *)
+  wait_wal_entry_stable t ~counter
+
+let resolve t ~tx ~commit =
+  match Hashtbl.find_opt t.prepared tx with
+  | None -> None
+  | Some (writes, prep_wal_id) ->
+      Hashtbl.remove t.prepared tx;
+      (match Hashtbl.find_opt t.wal_unresolved prep_wal_id with
+      | Some r -> decr r
+      | None -> ());
+      Sim.Resource.acquire t.commit_lock;
+      let seq =
+        Fun.protect ~finally:(fun () -> Sim.Resource.release t.commit_lock)
+        @@ fun () ->
+        if commit then begin
+          let seq = next_seq t in
+          ignore (wal_append t (Wal_record.Resolve (tx, Some seq)));
+          apply_writes t ~seq writes;
+          t.visible_seq <- t.last_alloc_seq;
+          Some seq
+        end
+        else begin
+          ignore (wal_append t (Wal_record.Resolve (tx, None)));
+          None
+        end
+      in
+      maybe_flush t;
+      seq
+
+let prepared_txs t = Hashtbl.fold (fun tx _ acc -> tx :: acc) t.prepared []
+
+(* --- Clog ------------------------------------------------------------- *)
+
+let clog_append t record =
+  if t.config.in_memory then ephemeral_counter t clog_log
+  else begin
+    let c = Log_auth.append t.clog (Clog_record.encode record) in
+    t.stability.submit ~log:clog_log ~counter:c;
+    c
+  end
+
+let clog_wait_stable t ~counter = t.stability.wait_stable ~log:clog_log ~counter
+
+let clog_trim t ~upto = ignore (manifest_append t (Manifest.Clog_trim { upto }))
+
+let log_last_counters t =
+  [
+    (manifest_log, Log_auth.last_counter t.manifest);
+    (clog_log, Log_auth.last_counter t.clog);
+    (Log_auth.name t.wal, Log_auth.last_counter t.wal);
+  ]
+
+(* --- recovery --------------------------------------------------------- *)
+
+let recover ssd sec cfg stability ~trusted =
+  let sim = Ssd.sim ssd in
+  let t = create_internal sim ssd sec cfg stability in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let replay_log log =
+    Log_auth.replay log ?trusted:(trusted (Log_auth.name log)) ()
+  in
+  match replay_log t.manifest with
+  | Error e -> fail "MANIFEST: %s" (Format.asprintf "%a" Log_auth.pp_replay_error e)
+  | Ok (manifest_entries, _manifest_dropped) -> (
+      match
+        try Ok (Manifest.replay_edits manifest_entries)
+        with Treaty_util.Wire.Malformed m -> Error m
+      with
+      | Error m -> fail "MANIFEST: %s" m
+      | Ok (version, _edits) -> (
+          (* Reopen the SSTable hierarchy, verifying footer digests. *)
+          match
+            try
+              Ok
+                (Array.iteri
+                   (fun l metas ->
+                     t.levels.(l) <-
+                       List.map
+                         (fun (m : Manifest.file_meta) ->
+                           {
+                             meta = m;
+                             handle =
+                               Sstable.open_ ssd sec ~file_id:m.file_id
+                                 ~footer_digest:m.footer_digest;
+                           })
+                         metas)
+                   version.Manifest.levels)
+            with Sec.Integrity_violation m -> Error m
+          with
+          | Error m -> fail "SSTable: %s" m
+          | Ok () -> (
+              t.next_file_id <-
+                1
+                + Array.fold_left
+                    (List.fold_left (fun acc lf -> max acc lf.meta.Manifest.file_id))
+                    0 t.levels;
+              t.last_alloc_seq <-
+                Array.fold_left
+                  (List.fold_left (fun acc lf -> max acc lf.meta.Manifest.max_seq))
+                  0 t.levels;
+              (* Replay live WALs, oldest first, into the fresh MemTable. *)
+              let wal_dropped = ref 0 in
+              let prepared : (Wal_record.txid, (string * Op.t) list) Hashtbl.t =
+                Hashtbl.create 16
+              in
+              let replay_wal_record = function
+                | Wal_record.Commit_batch txs ->
+                    List.iter
+                      (fun (seq, writes) ->
+                        t.last_alloc_seq <- max t.last_alloc_seq seq;
+                        List.iter
+                          (fun (key, op) -> Memtable.add t.memtable ~key ~seq op)
+                          writes)
+                      txs
+                | Wal_record.Prepare (tx, writes) -> Hashtbl.replace prepared tx writes
+                | Wal_record.Resolve (tx, outcome) -> (
+                    (match Hashtbl.find_opt prepared tx with
+                    | Some writes ->
+                        Hashtbl.remove prepared tx;
+                        (match outcome with
+                        | Some seq ->
+                            t.last_alloc_seq <- max t.last_alloc_seq seq;
+                            List.iter
+                              (fun (key, op) -> Memtable.add t.memtable ~key ~seq op)
+                              writes
+                        | None -> ())
+                    | None -> ()))
+              in
+              let wal_error = ref None in
+              List.iter
+                (fun wal_id ->
+                  if !wal_error = None then begin
+                    let wal =
+                      Log_auth.create ssd sec ~name:(Manifest.wal_name wal_id)
+                    in
+                    match replay_log wal with
+                    | Error e ->
+                        wal_error :=
+                          Some
+                            (Printf.sprintf "%s: %s" (Manifest.wal_name wal_id)
+                               (Format.asprintf "%a" Log_auth.pp_replay_error e))
+                    | Ok (entries, dropped) ->
+                        wal_dropped := !wal_dropped + dropped;
+                        List.iter
+                          (fun (_, payload) ->
+                            replay_wal_record (Wal_record.decode payload))
+                          entries
+                  end)
+                version.Manifest.live_wals;
+              match !wal_error with
+              | Some m -> fail "WAL: %s" m
+              | None -> (
+                  t.visible_seq <- t.last_alloc_seq;
+                  (* Replay the Clog (coordinator 2PC state). *)
+                  match replay_log t.clog with
+                  | Error e ->
+                      fail "CLOG: %s" (Format.asprintf "%a" Log_auth.pp_replay_error e)
+                  | Ok (clog_entries, clog_dropped) ->
+                      let clog_records =
+                        List.filter_map
+                          (fun (c, payload) ->
+                            if c <= version.Manifest.clog_trim then None
+                            else Some (c, Clog_record.decode payload))
+                          clog_entries
+                      in
+                      (* Consolidate: flush replayed state, retire all old
+                         WALs, re-log surviving prepares into a fresh WAL. *)
+                      if Memtable.entries t.memtable > 0 then begin
+                        let entries = Memtable.to_sorted t.memtable in
+                        let file_id = alloc_file_id t in
+                        let handle, footer_digest =
+                          Sstable.build ssd sec ~file_id
+                            ~block_bytes:cfg.block_bytes entries
+                        in
+                        let meta =
+                          meta_of_entries ~file_id ~level:0 ~footer_digest
+                            ~size:(Sstable.data_bytes handle) entries
+                        in
+                        ignore (manifest_append t (Manifest.Add_file meta));
+                        t.levels.(0) <- { meta; handle } :: t.levels.(0);
+                        Memtable.release t.memtable;
+                        t.memtable <-
+                          Memtable.create ~values_in_enclave:cfg.values_in_enclave sec
+                      end;
+                      let new_wal_id =
+                        1 + List.fold_left max 0 version.Manifest.live_wals
+                      in
+                      t.wal_manifest_counter <-
+                        manifest_append t (Manifest.New_wal { wal_id = new_wal_id });
+                      t.wal <-
+                        Log_auth.create ssd sec ~name:(Manifest.wal_name new_wal_id);
+                      t.wal_id <- new_wal_id;
+                      List.iter
+                        (fun wal_id ->
+                          ignore
+                            (manifest_append t (Manifest.Obsolete_wal { wal_id }));
+                          Ssd.delete ssd (Manifest.wal_name wal_id))
+                        version.Manifest.live_wals;
+                      let prepared_list =
+                        Hashtbl.fold (fun tx writes acc -> (tx, writes) :: acc) prepared []
+                      in
+                      List.iter
+                        (fun (tx, writes) ->
+                          ignore (wal_append t (Wal_record.Prepare (tx, writes)));
+                          Hashtbl.replace t.prepared tx (writes, t.wal_id);
+                          match Hashtbl.find_opt t.wal_unresolved t.wal_id with
+                          | Some r -> incr r
+                          | None -> Hashtbl.replace t.wal_unresolved t.wal_id (ref 1))
+                        prepared_list;
+                      Ok
+                        ( t,
+                          {
+                            prepared = prepared_list;
+                            clog_records;
+                            wal_entries_dropped = !wal_dropped;
+                            clog_entries_dropped = clog_dropped;
+                          } )))))

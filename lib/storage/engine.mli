@@ -1,0 +1,148 @@
+(** Treaty's per-node storage engine: SPEICHER extended for transactions
+    (§V-B, §VII-B).
+
+    A leveled LSM tree over the untrusted SSD: a MemTable absorbing writes,
+    counter-stamped authenticated logs (WAL, MANIFEST, Clog), authenticated
+    SSTables, flush and cascading compaction, and group commit. On top of
+    plain puts it supports the two-phase-commit-facing operations the Tx
+    layer needs: [prepare]/[resolve] for participant-side transactions and
+    Clog appends for coordinator protocol state.
+
+    Stabilization is injected: the Tx layer supplies a {!stability} record
+    wired to the trusted counter service; an engine created with
+    {!noop_stability} is the "w/o Stab" configuration. Garbage collection of
+    WALs and compacted SSTables is gated on the MANIFEST entries that
+    obsolete them being stable, so recovery from the rollback-protected
+    prefix never references deleted files. *)
+
+type stability = {
+  submit : log:string -> counter:int -> unit;
+      (** Kick off asynchronous stabilization of [counter] on [log]. *)
+  wait_stable : log:string -> counter:int -> unit;
+      (** Block the calling fiber until stabilized. *)
+}
+
+val noop_stability : stability
+
+type config = {
+  memtable_max_bytes : int;
+  block_bytes : int;
+  file_bytes : int;  (** Target SSTable size from compactions. *)
+  l0_trigger : int;  (** L0 file count that triggers compaction. *)
+  level_base_bytes : int;  (** L1 capacity; each level below is 10x. *)
+  group_commit : bool;
+  group_window_ns : int;
+  values_in_enclave : bool;  (** Ablation: MemTable values in EPC. *)
+  wait_commit_stable : bool;
+      (** Only acknowledge single-node commits once stable (§V-B). *)
+  in_memory : bool;
+      (** Skip all persistence (no WAL/MANIFEST/Clog writes, no flushes):
+          isolates the 2PC protocol itself, as the paper's Figure 4 run
+          "without any underlying storage". *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable gets : int;
+  mutable commits : int;
+  mutable prepares : int;
+  mutable flushes : int;
+  mutable compactions : int;
+  mutable sst_block_reads : int;
+  mutable wal_appends : int;
+}
+
+type recovery_info = {
+  prepared : (Wal_record.txid * (string * Op.t) list) list;
+      (** Prepared, undecided transactions found in the WALs. *)
+  clog_records : (int * Clog_record.record) list;
+      (** Surviving coordinator 2PC state, counter-tagged. *)
+  wal_entries_dropped : int;  (** Unstabilized tail entries discarded. *)
+  clog_entries_dropped : int;
+}
+
+type t
+
+val create : Ssd.t -> Sec.t -> config -> stability -> t
+(** Initialize a fresh database on an empty SSD. *)
+
+val recover :
+  Ssd.t ->
+  Sec.t ->
+  config ->
+  stability ->
+  trusted:(string -> int option) ->
+  (t * recovery_info, string) result
+(** Rebuild from the SSD after a crash: replay MANIFEST, verify and reopen
+    the SSTable hierarchy, replay live WALs (restoring the MemTable and
+    prepared transactions), replay the Clog. [trusted] maps a log name to
+    the trusted counter service's value for it — [None] disables freshness
+    enforcement (the non-Stab configurations). Detected rollback, tampering
+    or truncation surfaces as [Error description]. *)
+
+val sim : t -> Treaty_sim.Sim.t
+val sec : t -> Sec.t
+val stats : t -> stats
+val config : t -> config
+
+val snapshot : t -> int
+(** Latest visible sequence number: the read snapshot for new transactions. *)
+
+val next_seq : t -> int
+(** Allocate the next commit sequence number. *)
+
+val get : t -> key:string -> snapshot:int -> Memtable.lookup
+(** Point lookup at a snapshot: MemTable, then immutable MemTables, then L0
+    newest-first, then one file per deeper level. *)
+
+val scan : t -> lo:string -> hi:string -> snapshot:int -> (string * string) list
+(** Range scan at a snapshot: merges the MemTables and every overlapping
+    SSTable, keeps the freshest visible version of each key, drops
+    tombstones. Results in key order. *)
+
+val commit : t -> writes:(string * Op.t) list -> int
+(** Durably commit one transaction's write set: appends to the WAL
+    (group-committed with concurrent callers when enabled), applies to the
+    MemTable at a freshly assigned sequence number (returned), publishes
+    visibility, and if [wait_commit_stable] blocks until the WAL entry is
+    rollback-protected. *)
+
+val retain_snapshot : t -> int -> unit
+(** Pin a snapshot: compactions keep every version a transaction reading at
+    it could need. Pair with {!release_snapshot}. *)
+
+val release_snapshot : t -> int -> unit
+
+val prepare : t -> tx:Wal_record.txid -> writes:(string * Op.t) list -> unit
+(** Participant prepare: persist the transaction's writes in the WAL and
+    block until the entry is stable (§V: "participants delay replying back
+    to the coordinator until the prepare entry in the log is stabilized"). *)
+
+val resolve : t -> tx:Wal_record.txid -> commit:bool -> int option
+(** Commit or abort a prepared transaction. On commit the writes are applied
+    at a fresh sequence number (returned). Unknown/already-resolved
+    transactions return [None] (duplicate commit messages are ignored,
+    §VI). *)
+
+val prepared_txs : t -> Wal_record.txid list
+
+val clog_append : t -> Clog_record.record -> int
+(** Append coordinator 2PC state; returns the Clog counter value. *)
+
+val clog_wait_stable : t -> counter:int -> unit
+val clog_trim : t -> upto:int -> unit
+
+val log_last_counters : t -> (string * int) list
+(** (log name, last counter) for every live log — what the trusted counter
+    service is asked to vouch for. *)
+
+val flush_now : t -> unit
+(** Force MemTable rotation and wait for the flush to complete (tests). *)
+
+val compact_now : t -> unit
+val level_files : t -> int -> int
+(** Number of SSTables on a level (tests/benches). *)
+
+val memtable_handle : t -> Memtable.t
+(** The live MemTable — exposed for the host-memory tampering tests. *)

@@ -1,0 +1,39 @@
+module Sim = Treaty_sim.Sim
+
+type stats = { mutable batches : int; mutable items : int }
+
+type 'a t = {
+  sim : Sim.t;
+  window_ns : int;
+  flush : 'a list -> int;
+  mutable queue : ('a * int Sim.ivar) list;  (* newest first *)
+  mutable leader_active : bool;
+  stats : stats;
+}
+
+let create sim ~window_ns ~flush =
+  { sim; window_ns; flush; queue = []; leader_active = false; stats = { batches = 0; items = 0 } }
+
+let submit t item =
+  let iv = Sim.ivar () in
+  t.queue <- (item, iv) :: t.queue;
+  if not t.leader_active then begin
+    t.leader_active <- true;
+    (* Defer logging so followers can join the group. *)
+    Sim.sleep t.sim t.window_ns;
+    (* Items submitted while a flush is in progress are drained by the same
+       leader: followers enqueue and block, so nobody else can lead until we
+       release leadership with an empty queue. *)
+    while t.queue <> [] do
+      let batch = List.rev t.queue in
+      t.queue <- [];
+      let counter = t.flush (List.map fst batch) in
+      t.stats.batches <- t.stats.batches + 1;
+      t.stats.items <- t.stats.items + List.length batch;
+      List.iter (fun (_, biv) -> Sim.fill biv counter) batch
+    done;
+    t.leader_active <- false
+  end;
+  Sim.read t.sim iv
+
+let stats t = t.stats

@@ -1,0 +1,26 @@
+(** Group commit (§VII-B).
+
+    "Each group elects a leader that merges their and all followers' Txs
+    buffers into a larger buffer. The leader then writes this buffer into
+    WAL and MemTable. We further defer logging (yield) at commit, allowing
+    us to format group commits of bigger data blocks."
+
+    The first committer of a quiet period becomes leader, defers briefly
+    (the yield window) while followers enqueue, then flushes the combined
+    batch as a single WAL append. Everyone in the batch receives the same
+    log counter value to stabilize against. *)
+
+type 'a t
+
+type stats = { mutable batches : int; mutable items : int }
+
+val create :
+  Treaty_sim.Sim.t -> window_ns:int -> flush:('a list -> int) -> 'a t
+(** [flush] writes one combined WAL entry for a batch and returns its log
+    counter. *)
+
+val submit : 'a t -> 'a -> int
+(** Enqueue an item, becoming the leader if none is active; blocks until the
+    batch containing the item is durable; returns its log counter. *)
+
+val stats : 'a t -> stats

@@ -1,0 +1,105 @@
+module Enclave = Treaty_tee.Enclave
+
+type value_ref = {
+  slot : int;
+  stored_len : int;
+  vhash : string;
+  tombstone : bool;
+}
+
+type lookup = Found of int * string | Deleted of int | Not_found
+
+type t = {
+  sec : Sec.t;
+  sl : value_ref Skiplist.t;
+  host : Buffer.t;
+  values_in_enclave : bool;
+  mutable enclave_bytes : int;
+  mutable host_bytes : int;
+  mutable released : bool;
+}
+
+(* Per-entry enclave footprint: key bytes + seq + value pointer + hash. *)
+let entry_overhead key = String.length key + 8 + 16 + 32
+
+let create ?(values_in_enclave = false) sec =
+  {
+    sec;
+    sl = Skiplist.create ();
+    host = Buffer.create 4096;
+    values_in_enclave;
+    enclave_bytes = 0;
+    host_bytes = 0;
+    released = false;
+  }
+
+let charge_alloc t ~enclave_part ~value_part =
+  let e = Sec.enclave t.sec in
+  t.enclave_bytes <- t.enclave_bytes + enclave_part;
+  Enclave.alloc_enclave e enclave_part;
+  if t.values_in_enclave then begin
+    t.enclave_bytes <- t.enclave_bytes + value_part;
+    Enclave.alloc_enclave e value_part
+  end
+  else begin
+    t.host_bytes <- t.host_bytes + value_part;
+    Enclave.alloc_host e value_part
+  end
+
+let add t ~key ~seq op =
+  let plain = match op with Op.Put v -> v | Op.Delete -> "" in
+  let tombstone = op = Op.Delete in
+  (* Values headed for untrusted host memory are protected; in the
+     all-in-enclave ablation they stay plaintext inside the EPC. *)
+  let stored = if t.values_in_enclave then plain else Sec.protect t.sec plain in
+  let vhash = Sec.digest t.sec stored in
+  let slot = Buffer.length t.host in
+  Buffer.add_string t.host stored;
+  charge_alloc t ~enclave_part:(entry_overhead key) ~value_part:(String.length stored);
+  Skiplist.insert t.sl ~key ~seq
+    { slot; stored_len = String.length stored; vhash; tombstone }
+
+let fetch t vref =
+  let stored = Buffer.sub t.host vref.slot vref.stored_len in
+  Sec.check_digest t.sec ~what:"memtable value" ~data:stored ~expected:vref.vhash;
+  if t.values_in_enclave then stored else Sec.unprotect t.sec stored
+
+let get t ~key ~max_seq =
+  match Skiplist.find t.sl ~key ~max_seq with
+  | None -> Not_found
+  | Some (seq, vref) ->
+      if vref.tombstone then Deleted seq else Found (seq, fetch t vref)
+
+let entries t = Skiplist.length t.sl
+let approx_bytes t = t.enclave_bytes + t.host_bytes
+
+let to_sorted t =
+  Skiplist.fold t.sl ~init:[] ~f:(fun acc ~key ~seq vref ->
+      let op = if vref.tombstone then Op.Delete else Op.Put (fetch t vref) in
+      (key, seq, op) :: acc)
+  |> List.rev
+
+let range t ~lo ~hi ~max_seq =
+  Skiplist.fold_range t.sl ~lo ~hi ~init:[] ~f:(fun acc ~key ~seq vref ->
+      if seq > max_seq then acc
+      else
+        let op = if vref.tombstone then Op.Delete else Op.Put (fetch t vref) in
+        (key, seq, op) :: acc)
+  |> List.rev
+
+let release t =
+  if not t.released then begin
+    t.released <- true;
+    let e = Sec.enclave t.sec in
+    Enclave.free_enclave e t.enclave_bytes;
+    Enclave.free_host e t.host_bytes
+  end
+
+let host_tamper t =
+  if Buffer.length t.host > 0 then begin
+    let contents = Bytes.of_string (Buffer.contents t.host) in
+    let i = Bytes.length contents / 2 in
+    Bytes.set contents i (Char.chr (Char.code (Bytes.get contents i) lxor 0x01));
+    Buffer.clear t.host;
+    Buffer.add_bytes t.host contents
+  end

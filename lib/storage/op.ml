@@ -1,0 +1,21 @@
+module Wire = Treaty_util.Wire
+
+type t = Put of string | Delete
+
+let encode b = function
+  | Put v ->
+      Wire.w8 b 1;
+      Wire.wstr b v
+  | Delete -> Wire.w8 b 0
+
+let decode r =
+  match Wire.r8 r with
+  | 1 -> Put (Wire.rstr r)
+  | 0 -> Delete
+  | n -> raise (Wire.Malformed (Printf.sprintf "bad op tag %d" n))
+
+let size = function Put v -> String.length v | Delete -> 0
+
+let pp ppf = function
+  | Put v -> Format.fprintf ppf "Put(%dB)" (String.length v)
+  | Delete -> Format.fprintf ppf "Delete"

@@ -1,0 +1,8 @@
+(** A versioned write: a value or a tombstone. *)
+
+type t = Put of string | Delete
+
+val encode : Buffer.t -> t -> unit
+val decode : Treaty_util.Wire.reader -> t
+val size : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,120 @@
+let max_level = 16
+
+type 'a node = {
+  nkey : string;
+  nseq : int;
+  mutable payload : 'a option;  (* None only for the head sentinel *)
+  forward : 'a node option array;
+}
+
+type 'a t = {
+  head : 'a node;
+  rng : Treaty_sim.Rng.t;
+  mutable level : int;
+  mutable count : int;
+}
+
+let create ?(seed = 0x5EEDL) () =
+  {
+    head = { nkey = ""; nseq = max_int; payload = None; forward = Array.make max_level None };
+    rng = Treaty_sim.Rng.create seed;
+    level = 1;
+    count = 0;
+  }
+
+let length t = t.count
+
+(* Internal key order: key ascending, then seq DESCENDING. *)
+let before ~key ~seq node =
+  let c = String.compare node.nkey key in
+  c < 0 || (c = 0 && node.nseq > seq)
+
+let random_level t =
+  let rec go l = if l < max_level && Treaty_sim.Rng.int t.rng 4 = 0 then go (l + 1) else l in
+  go 1
+
+let find_predecessors t ~key ~seq update =
+  let x = ref t.head in
+  for i = t.level - 1 downto 0 do
+    let continue = ref true in
+    while !continue do
+      match !x.forward.(i) with
+      | Some next when before ~key ~seq next -> x := next
+      | Some _ | None -> continue := false
+    done;
+    update.(i) <- !x
+  done;
+  !x
+
+let insert t ~key ~seq payload =
+  let update = Array.make max_level t.head in
+  let pred = find_predecessors t ~key ~seq update in
+  match pred.forward.(0) with
+  | Some next when next.nkey = key && next.nseq = seq -> next.payload <- Some payload
+  | _ ->
+      let lvl = random_level t in
+      if lvl > t.level then begin
+        for i = t.level to lvl - 1 do
+          update.(i) <- t.head
+        done;
+        t.level <- lvl
+      end;
+      let node = { nkey = key; nseq = seq; payload = Some payload; forward = Array.make lvl None } in
+      for i = 0 to lvl - 1 do
+        node.forward.(i) <- update.(i).forward.(i);
+        update.(i).forward.(i) <- Some node
+      done;
+      t.count <- t.count + 1
+
+let find t ~key ~max_seq =
+  let update = Array.make max_level t.head in
+  (* Seek to the first node with (nkey, nseq) >= (key, max_seq) in internal
+     order, i.e. nkey = key with nseq <= max_seq, or nkey > key. *)
+  let pred = find_predecessors t ~key ~seq:max_seq update in
+  match pred.forward.(0) with
+  | Some node when node.nkey = key && node.nseq <= max_seq -> (
+      match node.payload with Some p -> Some (node.nseq, p) | None -> None)
+  | Some _ | None -> None
+
+let fold t ~init ~f =
+  let rec go acc = function
+    | None -> acc
+    | Some node -> (
+        match node.payload with
+        | Some p -> go (f acc ~key:node.nkey ~seq:node.nseq p) node.forward.(0)
+        | None -> go acc node.forward.(0))
+  in
+  go init t.head.forward.(0)
+
+let iter t f = fold t ~init:() ~f:(fun () ~key ~seq p -> f ~key ~seq p)
+
+let fold_range t ~lo ~hi ~init ~f =
+  (* Seek to the first node with key >= lo (any seq), then walk. *)
+  let update = Array.make max_level t.head in
+  let pred = find_predecessors t ~key:lo ~seq:max_int update in
+  let rec go acc = function
+    | Some node when node.nkey <= hi ->
+        let acc =
+          match node.payload with
+          | Some p -> f acc ~key:node.nkey ~seq:node.nseq p
+          | None -> acc
+        in
+        go acc node.forward.(0)
+    | Some _ | None -> acc
+  in
+  go init pred.forward.(0)
+
+let min_key t =
+  match t.head.forward.(0) with Some n -> Some n.nkey | None -> None
+
+let max_key t =
+  let x = ref t.head in
+  for i = t.level - 1 downto 0 do
+    let continue = ref true in
+    while !continue do
+      match !x.forward.(i) with
+      | Some next -> x := next
+      | None -> continue := false
+    done
+  done;
+  if !x == t.head then None else Some !x.nkey

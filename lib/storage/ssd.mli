@@ -1,0 +1,59 @@
+(** Untrusted persistent storage (the testbed's SSDs).
+
+    Files are append-only byte streams with random reads. The store survives
+    node crashes (the volatile engine state does not) and is fully
+    adversary-accessible per the threat model (§III): tests tamper with
+    bytes, truncate files, and snapshot/restore to mount rollback attacks.
+
+    I/O time: writes pay NVMe program+fsync latency on a per-device channel
+    (so concurrent writers queue — the motivation for group commit); reads
+    are served from the kernel page cache by default, as in the paper's
+    experiments ("the database fits entirely in the kernel page cache").
+    Syscall costs are charged separately by the caller through its enclave,
+    because they depend on the TEE mode. *)
+
+type t
+
+type stats = {
+  mutable writes : int;
+  mutable reads : int;
+  mutable bytes_written : int;
+  mutable bytes_read : int;
+}
+
+val create : Treaty_sim.Sim.t -> Treaty_sim.Costmodel.t -> t
+val stats : t -> stats
+val sim : t -> Treaty_sim.Sim.t
+
+val append : t -> enclave:Treaty_tee.Enclave.t -> string -> string -> int
+(** [append t ~enclave name data] appends to (creating) [name]; returns the
+    offset the data landed at. Charges one write syscall and the device
+    write. *)
+
+val read : t -> enclave:Treaty_tee.Enclave.t -> string -> off:int -> len:int -> string
+(** Random read; raises [Invalid_argument] past EOF. Charges one read
+    syscall and a page-cache hit. *)
+
+val size : t -> string -> int
+(** Size in bytes; 0 if the file does not exist. *)
+
+val exists : t -> string -> bool
+val delete : t -> string -> unit
+val list_files : t -> string list
+
+(* --- adversary interface (tests only) --- *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Copy the full persistent state (for later rollback). *)
+
+val restore : t -> snapshot -> unit
+(** Roll the store back to an earlier snapshot — the rollback attack of
+    §III/§VI. *)
+
+val tamper : t -> string -> off:int -> unit
+(** Flip one bit of a stored file. *)
+
+val truncate : t -> string -> int -> unit
+(** Cut a file to [len] bytes (e.g. delete a log suffix). *)

@@ -1,0 +1,56 @@
+(** Authenticated SSTables (SPEICHER's data model, §V-B).
+
+    On disk a table is a sequence of blocks of sorted KV versions — each
+    block encrypted as a unit in [enc] mode — followed by a footer holding
+    per-block key ranges, offsets and hashes. The footer itself is
+    authenticated by its digest recorded in the MANIFEST's [Add_file] entry,
+    rooting the whole hierarchy in the counter-stamped MANIFEST chain:
+    tampering with a block fails the footer's block hash, tampering with the
+    footer fails the MANIFEST digest, and replaying an old file fails the
+    MANIFEST freshness check.
+
+    All versions of one user key always share a block, so a point lookup
+    touches exactly one block. *)
+
+type entry = string * int * Op.t
+(** (key, seq, op) in internal-key order: key asc, seq desc. *)
+
+type handle
+
+val build :
+  Ssd.t ->
+  Sec.t ->
+  file_id:int ->
+  block_bytes:int ->
+  entry list ->
+  handle * string
+(** Write a table from sorted entries as one sequential file write; returns
+    the handle and the footer digest for the MANIFEST. The entry list must
+    be non-empty and sorted. *)
+
+val open_ :
+  Ssd.t -> Sec.t -> file_id:int -> footer_digest:string -> handle
+(** Recovery path: re-open a file named by its id, verifying the footer
+    against the MANIFEST-recorded digest. Raises {!Sec.Integrity_violation}
+    on mismatch. *)
+
+val file_name : file_id:int -> string
+val id : handle -> int
+val min_key : handle -> string
+val max_key : handle -> string
+val data_bytes : handle -> int
+val block_count : handle -> int
+
+val overlaps : handle -> min:string -> max:string -> bool
+
+val get : Ssd.t -> Sec.t -> handle -> key:string -> max_seq:int -> (int * Op.t) option
+(** Freshest version of [key] with [seq <= max_seq]. Reads, verifies and
+    decrypts the one candidate block. *)
+
+val load_all : Ssd.t -> Sec.t -> handle -> entry list
+(** Sequential scan of the whole table (compaction input). *)
+
+val range :
+  Ssd.t -> Sec.t -> handle -> lo:string -> hi:string -> max_seq:int -> entry list
+(** All versions with [lo <= key <= hi] and [seq <= max_seq]: reads (and
+    verifies) only the blocks whose key ranges overlap. *)

@@ -1,0 +1,20 @@
+type t = { measurement : string; report_data : string; signature : string }
+
+let payload ~measurement ~report_data =
+  Printf.sprintf "%d:%s%d:%s" (String.length measurement) measurement
+    (String.length report_data) report_data
+
+let sign ~las_key ~measurement ~report_data =
+  let mac = Treaty_crypto.Hmac.create las_key in
+  {
+    measurement;
+    report_data;
+    signature = Treaty_crypto.Hmac.mac mac (payload ~measurement ~report_data);
+  }
+
+let verify ~las_key ~expected_measurement t =
+  let mac = Treaty_crypto.Hmac.create las_key in
+  Treaty_crypto.Hmac.equal_tags t.measurement expected_measurement
+  && Treaty_crypto.Hmac.verify mac
+       (payload ~measurement:t.measurement ~report_data:t.report_data)
+       ~tag:t.signature

@@ -1,0 +1,15 @@
+(** Attestation quotes.
+
+    A quote binds an enclave's measurement and caller-chosen report data to a
+    signature by the node's Local Attestation Service (which replaces the
+    SGX Quoting Enclave in Treaty's design, §VI). Real quotes use EPID/ECDSA;
+    here LAS↔CAS share a MAC key established when the CAS deploys the LAS,
+    which preserves the verification logic (who can forge what) at the
+    simulation's trust granularity. *)
+
+type t = { measurement : string; report_data : string; signature : string }
+
+val sign : las_key:string -> measurement:string -> report_data:string -> t
+
+val verify : las_key:string -> expected_measurement:string -> t -> bool
+(** Checks both the signature and the measurement. *)

@@ -1,0 +1,34 @@
+(** Closed-loop benchmark driver.
+
+    Mirrors the paper's setup: N client terminals on separate machines
+    (client-NIC endpoints), each running transactions back-to-back against
+    the cluster. A run has a warmup window (not recorded) and a measurement
+    window; throughput is committed transactions over the measurement
+    window, latency is per-transaction. *)
+
+type result = {
+  stats : Stats.t;
+  duration_ns : int;
+  clients : int;
+}
+
+val run_clients :
+  Treaty_core.Cluster.t ->
+  clients:int ->
+  duration_ns:int ->
+  ?warmup_ns:int ->
+  ?first_client_id:int ->
+  txn:
+    (Treaty_core.Client.t ->
+    client_index:int ->
+    Treaty_sim.Rng.t ->
+    unit Treaty_core.Types.txn_result) ->
+  unit ->
+  result
+(** Spawn [clients] closed-loop terminals and run until the window closes.
+    [txn] executes one transaction (retries are the workload's business; an
+    [Error] counts as an abort). Must run in a fiber. *)
+
+val tps : result -> float
+val mean_ms : result -> float
+val p99_ms : result -> float

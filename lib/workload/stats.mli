@@ -1,0 +1,21 @@
+(** Latency/throughput accounting for benchmark runs. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> latency_ns:int -> unit
+(** One committed transaction. *)
+
+val record_abort : t -> unit
+
+val merge : t -> t -> t
+val committed : t -> int
+val aborted : t -> int
+
+val throughput_tps : t -> duration_ns:int -> float
+val mean_latency_ms : t -> float
+val percentile_ms : t -> float -> float
+(** [percentile_ms t 99.0] — exact over all recorded samples. *)
+
+val summary : t -> duration_ns:int -> string

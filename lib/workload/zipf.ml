@@ -1,0 +1,32 @@
+type t = Zipf of float array (* cumulative probabilities *) | Uniform of int
+
+let create ?(theta = 0.99) ~n () =
+  if n <= 0 then invalid_arg "Zipf.create";
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.0;
+  Zipf cdf
+
+let uniform ~n =
+  if n <= 0 then invalid_arg "Zipf.uniform";
+  Uniform n
+
+let sample t rng =
+  match t with
+  | Uniform n -> Treaty_sim.Rng.int rng n
+  | Zipf cdf ->
+      let u = Treaty_sim.Rng.float rng 1.0 in
+      (* Binary search for the first index with cdf >= u. *)
+      let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cdf.(mid) < u then lo := mid + 1 else hi := mid
+      done;
+      !lo

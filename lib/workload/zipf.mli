@@ -1,0 +1,15 @@
+(** Zipfian key-popularity distribution (YCSB's default skew).
+
+    Precomputed inverse-CDF sampling: exact, O(log n) per draw, fine for the
+    key-space sizes the paper uses (10k unique keys). *)
+
+type t
+
+val create : ?theta:float -> n:int -> unit -> t
+(** [theta] is the skew (YCSB default 0.99); [n] the key-space size. *)
+
+val sample : t -> Treaty_sim.Rng.t -> int
+(** A key index in [\[0, n)], rank 0 most popular. *)
+
+val uniform : n:int -> t
+(** Degenerate uniform variant behind the same interface. *)

@@ -1,0 +1,140 @@
+(* Trusted counter service (ROTE) and the asynchronous stabilization
+   client: quorum behaviour, monotonicity, batching, recovery queries. *)
+
+module Sim = Treaty_sim.Sim
+module Enclave = Treaty_tee.Enclave
+module Net = Treaty_netsim.Net
+module Erpc = Treaty_rpc.Erpc
+module Rote = Treaty_counter.Rote
+module CC = Treaty_counter.Counter_client
+
+let mk_group ?(n = 3) sim net =
+  List.init n (fun i ->
+      let id = i + 1 in
+      let enclave =
+        Enclave.create sim ~mode:Enclave.Scone ~cost:Treaty_sim.Costmodel.default
+          ~cores:4 ~node_id:id ~code_identity:"rote-test"
+      in
+      let pool = Treaty_memalloc.Mempool.create enclave in
+      let rpc =
+        Erpc.create sim ~net ~enclave ~pool
+          ~config:(Erpc.default_config ~security:Treaty_rpc.Secure_msg.Plain)
+          ~node_id:id ()
+      in
+      (rpc, Rote.create_replica rpc ~group:(List.init n (fun j -> j + 1)) ()))
+
+let with_group ?n f =
+  let sim = Sim.create () in
+  let net = Net.create sim Treaty_sim.Costmodel.default in
+  Sim.run sim (fun () -> f sim (mk_group ?n sim net))
+
+let increment_and_query () =
+  with_group (fun _sim group ->
+      let _, r1 = List.hd group in
+      (match Rote.increment r1 ~owner:1 ~log:"WAL" ~value:5 with
+      | Ok () -> ()
+      | Error `No_quorum -> Alcotest.fail "quorum available");
+      List.iteri
+        (fun i (_, r) ->
+          Alcotest.(check int)
+            (Printf.sprintf "replica %d holds the value" i)
+            5
+            (Rote.local_value r ~owner:1 ~log:"WAL"))
+        group;
+      match Rote.query r1 ~owner:1 ~log:"WAL" with
+      | Ok 5 -> ()
+      | Ok v -> Alcotest.failf "query returned %d" v
+      | Error `No_quorum -> Alcotest.fail "query quorum")
+
+let counters_are_namespaced () =
+  with_group (fun _sim group ->
+      let _, r1 = List.hd group in
+      ignore (Rote.increment r1 ~owner:1 ~log:"A" ~value:3);
+      ignore (Rote.increment r1 ~owner:1 ~log:"B" ~value:7);
+      ignore (Rote.increment r1 ~owner:2 ~log:"A" ~value:11);
+      Alcotest.(check int) "owner1/A" 3 (Rote.local_value r1 ~owner:1 ~log:"A");
+      Alcotest.(check int) "owner1/B" 7 (Rote.local_value r1 ~owner:1 ~log:"B");
+      Alcotest.(check int) "owner2/A" 11 (Rote.local_value r1 ~owner:2 ~log:"A"))
+
+let survives_minority_crash () =
+  with_group (fun _sim group ->
+      let (_, r1), (rpc2, _), _ =
+        match group with [ a; b; c ] -> (a, b, c) | _ -> assert false
+      in
+      ignore (Rote.increment r1 ~owner:1 ~log:"L" ~value:4);
+      Erpc.shutdown rpc2;
+      (match Rote.increment r1 ~owner:1 ~log:"L" ~value:5 with
+      | Ok () -> ()
+      | Error `No_quorum -> Alcotest.fail "2/3 should still be a quorum");
+      match Rote.query r1 ~owner:1 ~log:"L" with
+      | Ok 5 -> ()
+      | _ -> Alcotest.fail "query after minority crash")
+
+let no_quorum_fails () =
+  with_group (fun _sim group ->
+      let (_, r1), (rpc2, _), (rpc3, _) =
+        match group with [ a; b; c ] -> (a, b, c) | _ -> assert false
+      in
+      Erpc.shutdown rpc2;
+      Erpc.shutdown rpc3;
+      match Rote.increment r1 ~owner:1 ~log:"L" ~value:1 with
+      | Error `No_quorum -> ()
+      | Ok () -> Alcotest.fail "1/3 is not a quorum")
+
+let recovery_query_from_peers () =
+  (* The owner crashes and loses its replica state; the group remembers. *)
+  with_group (fun _sim group ->
+      let (_, r1), (_, r2), _ =
+        match group with [ a; b; c ] -> (a, b, c) | _ -> assert false
+      in
+      ignore (Rote.increment r1 ~owner:1 ~log:"WAL" ~value:42);
+      (* A fresh replica (recovering node 1) queries the group through any
+         member; here through replica 2's endpoint. *)
+      match Rote.query r2 ~owner:1 ~log:"WAL" with
+      | Ok 42 -> ()
+      | Ok v -> Alcotest.failf "peers returned %d" v
+      | Error `No_quorum -> Alcotest.fail "quorum")
+
+let client_batches_rounds () =
+  with_group (fun sim group ->
+      let _, r1 = List.hd group in
+      let cc = CC.create r1 ~owner:1 in
+      (* A burst of submits coalesces: far fewer rounds than submits. *)
+      for c = 1 to 50 do
+        CC.submit cc ~log:"WAL" ~counter:c
+      done;
+      CC.wait_stable cc ~log:"WAL" ~counter:50;
+      Alcotest.(check int) "stable watermark" 50 (CC.stable_value cc ~log:"WAL");
+      let rounds = (CC.stats cc).CC.rounds_started in
+      Alcotest.(check bool)
+        (Printf.sprintf "batched (%d rounds for 50 submits)" rounds)
+        true (rounds <= 5);
+      (* wait_stable below the watermark returns immediately. *)
+      let t0 = Sim.now sim in
+      CC.wait_stable cc ~log:"WAL" ~counter:10;
+      Alcotest.(check int) "no wait below watermark" t0 (Sim.now sim))
+
+let client_wakes_waiters_in_order () =
+  with_group (fun sim group ->
+      let _, r1 = List.hd group in
+      let cc = CC.create r1 ~owner:1 in
+      let woken = ref [] in
+      for c = 1 to 3 do
+        Sim.spawn sim (fun () ->
+            CC.wait_stable cc ~log:"L" ~counter:c;
+            woken := c :: !woken)
+      done;
+      Sim.sleep sim 100_000_000;
+      Alcotest.(check int) "all waiters woken" 3 (List.length !woken);
+      Alcotest.(check int) "watermark covers all" 3 (CC.stable_value cc ~log:"L"))
+
+let suite =
+  [
+    Alcotest.test_case "increment + quorum query" `Quick increment_and_query;
+    Alcotest.test_case "counters namespaced by (owner, log)" `Quick counters_are_namespaced;
+    Alcotest.test_case "survives minority crash" `Quick survives_minority_crash;
+    Alcotest.test_case "no quorum -> unavailable" `Quick no_quorum_fails;
+    Alcotest.test_case "recovery queries the group" `Quick recovery_query_from_peers;
+    Alcotest.test_case "stabilization batches rounds" `Quick client_batches_rounds;
+    Alcotest.test_case "waiters woken at watermark" `Quick client_wakes_waiters_in_order;
+  ]

@@ -1,0 +1,185 @@
+(* Crypto substrate: standard test vectors plus property-based roundtrips
+   and tamper detection. *)
+
+open Treaty_crypto
+
+let check_hex msg expected got = Alcotest.(check string) msg expected (Sha256.to_hex got)
+
+let sha256_vectors () =
+  (* FIPS 180-4 / NIST examples. *)
+  check_hex "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.digest_string "");
+  check_hex "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.digest_string "abc");
+  check_hex "448-bit"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.digest_string "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_hex "million a's"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.digest_string (String.make 1_000_000 'a'))
+
+let sha256_incremental () =
+  (* Chunked absorption must agree with one-shot hashing at every split. *)
+  let data = String.init 1000 (fun i -> Char.chr (i mod 256)) in
+  let oneshot = Sha256.digest_string data in
+  List.iter
+    (fun split ->
+      let ctx = Sha256.init () in
+      Sha256.update_string ctx (String.sub data 0 split);
+      Sha256.update_string ctx (String.sub data split (String.length data - split));
+      Alcotest.(check string)
+        (Printf.sprintf "split at %d" split)
+        (Sha256.to_hex oneshot)
+        (Sha256.to_hex (Sha256.finalize ctx)))
+    [ 0; 1; 55; 56; 63; 64; 65; 127; 128; 500; 999; 1000 ]
+
+let sha256_copy () =
+  let ctx = Sha256.init () in
+  Sha256.update_string ctx "shared prefix|";
+  let ctx2 = Sha256.copy ctx in
+  Sha256.update_string ctx "left";
+  Sha256.update_string ctx2 "right";
+  Alcotest.(check string) "copy diverges left"
+    (Sha256.to_hex (Sha256.digest_string "shared prefix|left"))
+    (Sha256.to_hex (Sha256.finalize ctx));
+  Alcotest.(check string) "copy diverges right"
+    (Sha256.to_hex (Sha256.digest_string "shared prefix|right"))
+    (Sha256.to_hex (Sha256.finalize ctx2))
+
+let hmac_vectors () =
+  (* RFC 4231 test cases 1, 2 and 7 (long key). *)
+  let h1 = Hmac.create (String.make 20 '\x0b') in
+  check_hex "rfc4231 tc1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hmac.mac h1 "Hi There");
+  let h2 = Hmac.create "Jefe" in
+  check_hex "rfc4231 tc2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hmac.mac h2 "what do ya want for nothing?");
+  let h7 = Hmac.create (String.make 131 '\xaa') in
+  check_hex "rfc4231 tc7 (key > block)"
+    "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+    (Hmac.mac h7
+       "This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.")
+
+let hmac_parts () =
+  let h = Hmac.create "key" in
+  Alcotest.(check string) "mac_parts = mac of concat"
+    (Sha256.to_hex (Hmac.mac h "abcdef"))
+    (Sha256.to_hex (Hmac.mac_parts h [ "ab"; "cd"; "ef" ]))
+
+let hmac_equal_tags () =
+  Alcotest.(check bool) "equal" true (Hmac.equal_tags "same-tag" "same-tag");
+  Alcotest.(check bool) "different" false (Hmac.equal_tags "same-tag" "SAME-tag");
+  Alcotest.(check bool) "length mismatch" false (Hmac.equal_tags "a" "ab")
+
+let chacha20_rfc_block () =
+  (* RFC 8439 §2.3.2: first keystream block. *)
+  let key = String.init 32 Char.chr in
+  let nonce = "\x00\x00\x00\x09\x00\x00\x00\x4a\x00\x00\x00\x00" in
+  let block = Chacha20.block ~key ~nonce ~counter:1 in
+  Alcotest.(check string) "keystream prefix"
+    "10f1e7e4d13b5915500fdd1fa32071c4"
+    (Sha256.to_hex (String.sub block 0 16))
+
+let chacha20_rfc_encrypt () =
+  (* RFC 8439 §2.4.2 "Ladies and Gentlemen..." *)
+  let key = String.init 32 Char.chr in
+  let nonce = "\x00\x00\x00\x00\x00\x00\x00\x4a\x00\x00\x00\x00" in
+  let plaintext =
+    "Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it."
+  in
+  let ct = Chacha20.xor ~key ~nonce ~counter:1 plaintext in
+  Alcotest.(check string) "first ct bytes"
+    "6e2e359a2568f98041ba0728dd0d6981"
+    (Sha256.to_hex (String.sub ct 0 16));
+  Alcotest.(check string) "decrypt roundtrip" plaintext
+    (Chacha20.xor ~key ~nonce ~counter:1 ct)
+
+let aead_tamper_every_byte () =
+  let key = Aead.key_of_string "k" in
+  let iv = String.make 12 'i' in
+  let packed = Aead.seal_packed key ~iv ~aad:"hdr" "secret payload" in
+  for i = 0 to String.length packed - 1 do
+    let b = Bytes.of_string packed in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x80));
+    match Aead.open_packed key ~aad:"hdr" (Bytes.to_string b) with
+    | Error `Mac_mismatch -> ()
+    | Error `Truncated -> ()
+    | Ok _ -> Alcotest.failf "tampering byte %d went undetected" i
+  done
+
+let aead_wrong_aad () =
+  let key = Aead.key_of_string "k" in
+  let iv = String.make 12 'i' in
+  let packed = Aead.seal_packed key ~iv ~aad:"aad1" "data" in
+  (match Aead.open_packed key ~aad:"aad2" packed with
+  | Error `Mac_mismatch -> ()
+  | _ -> Alcotest.fail "wrong AAD accepted");
+  match Aead.open_packed (Aead.key_of_string "other") ~aad:"aad1" packed with
+  | Error `Mac_mismatch -> ()
+  | _ -> Alcotest.fail "wrong key accepted"
+
+let iv_gen_unique () =
+  let g = Aead.Iv_gen.create ~node_id:7 in
+  let seen = Hashtbl.create 1000 in
+  for _ = 1 to 1000 do
+    let iv = Aead.Iv_gen.next g in
+    Alcotest.(check int) "iv size" 12 (String.length iv);
+    Alcotest.(check bool) "fresh iv" false (Hashtbl.mem seen iv);
+    Hashtbl.replace seen iv ()
+  done;
+  let g2 = Aead.Iv_gen.create ~node_id:8 in
+  Alcotest.(check bool) "distinct nodes disjoint" false
+    (Hashtbl.mem seen (Aead.Iv_gen.next g2))
+
+let keys_derivation () =
+  let m = Keys.master_of_secret "s" in
+  Alcotest.(check bool) "labels differ" true (Keys.derive m "a" <> Keys.derive m "b");
+  Alcotest.(check string) "deterministic" (Keys.derive m "a") (Keys.derive m "a");
+  let m2 = Keys.master_of_secret "s2" in
+  Alcotest.(check bool) "masters differ" true (Keys.derive m "a" <> Keys.derive m2 "a");
+  Alcotest.(check bool) "client tokens distinct" true
+    (Keys.client_token m ~client_id:1 <> Keys.client_token m ~client_id:2)
+
+(* --- properties --- *)
+
+let prop_aead_roundtrip =
+  QCheck.Test.make ~name:"aead roundtrip" ~count:200
+    QCheck.(pair (string_of_size Gen.(0 -- 2048)) small_string)
+    (fun (pt, aad) ->
+      let key = Aead.key_of_string "prop" in
+      let iv = String.make 12 'x' in
+      let packed = Aead.seal_packed key ~iv ~aad pt in
+      Aead.open_packed key ~aad packed = Ok pt)
+
+let prop_chacha_involution =
+  QCheck.Test.make ~name:"chacha20 xor is an involution" ~count:200
+    (QCheck.string_of_size QCheck.Gen.(0 -- 4096))
+    (fun pt ->
+      let key = String.make 32 'k' and nonce = String.make 12 'n' in
+      Chacha20.xor ~key ~nonce (Chacha20.xor ~key ~nonce pt) = pt)
+
+let prop_sha_distinct =
+  QCheck.Test.make ~name:"sha256 distinguishes distinct inputs" ~count:200
+    QCheck.(pair small_string small_string)
+    (fun (a, b) -> a = b || Sha256.digest_string a <> Sha256.digest_string b)
+
+let suite =
+  [
+    Alcotest.test_case "sha256 vectors" `Quick sha256_vectors;
+    Alcotest.test_case "sha256 incremental" `Quick sha256_incremental;
+    Alcotest.test_case "sha256 state copy" `Quick sha256_copy;
+    Alcotest.test_case "hmac rfc4231 vectors" `Quick hmac_vectors;
+    Alcotest.test_case "hmac parts" `Quick hmac_parts;
+    Alcotest.test_case "hmac tag comparison" `Quick hmac_equal_tags;
+    Alcotest.test_case "chacha20 rfc block" `Quick chacha20_rfc_block;
+    Alcotest.test_case "chacha20 rfc encrypt" `Quick chacha20_rfc_encrypt;
+    Alcotest.test_case "aead detects any bit flip" `Quick aead_tamper_every_byte;
+    Alcotest.test_case "aead wrong aad/key" `Quick aead_wrong_aad;
+    Alcotest.test_case "iv generator uniqueness" `Quick iv_gen_unique;
+    Alcotest.test_case "key derivation" `Quick keys_derivation;
+    QCheck_alcotest.to_alcotest prop_aead_roundtrip;
+    QCheck_alcotest.to_alcotest prop_chacha_involution;
+    QCheck_alcotest.to_alcotest prop_sha_distinct;
+  ]

@@ -1,0 +1,193 @@
+(* Durability and stabilization semantics at the cluster level.
+
+   The central promise of the stabilization protocol (§VI): once a client is
+   acknowledged, the transaction survives any crash — even an immediate one,
+   even a disk rolled back to the latest "consistent" state an adversary can
+   fabricate. These tests crash nodes at the worst possible moments. *)
+
+open Treaty_core
+module Sim = Treaty_sim.Sim
+module Engine = Treaty_storage.Engine
+
+let mk_config profile =
+  {
+    (Config.with_profile Config.default profile) with
+    Config.record_history = false;
+    engine =
+      {
+        (Config.with_profile Config.default profile).Config.engine with
+        Engine.memtable_max_bytes = 64 * 1024;
+      };
+  }
+
+(* Route by explicit prefix, as in test_core. *)
+let explicit_route key =
+  match String.index_opt key ':' with
+  | Some i -> ( try int_of_string (String.sub key 4 (i - 4)) - 1 with _ -> 0)
+  | None -> Hashtbl.hash key
+
+let ack_implies_durable_under_immediate_crash () =
+  let sim = Sim.create () in
+  Sim.run sim (fun () ->
+      match Cluster.create sim (mk_config Config.treaty_enc_stab) ~route:explicit_route () with
+      | Error m -> Alcotest.failf "bootstrap: %s" m
+      | Ok cluster ->
+          let c = Client.connect_exn cluster ~client_id:1 in
+          (* Commit through node 2 and crash it in the same instant the ack
+             lands — zero grace time. The stabilization protocol must have
+             made the WAL entry (and the manifest entry registering that
+             WAL) trusted *before* the ack. *)
+          (match
+             Client.with_txn c ~coord:2 (fun txn ->
+                 Client.put c txn "node2:acked" "must-survive")
+           with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "commit: %s" (Types.abort_reason_to_string e));
+          Cluster.crash_node cluster 1;
+          (match Cluster.restart_node cluster 1 with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "restart: %s" m);
+          (match
+             Client.with_txn c ~coord:3 (fun txn ->
+                 match Client.get c txn "node2:acked" with
+                 | Ok (Some "must-survive") -> Ok ()
+                 | Ok _ -> Error Types.Integrity
+                 | Error e -> Error e)
+           with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.failf "acked transaction lost: %s"
+                (Types.abort_reason_to_string e));
+          Client.disconnect c;
+          Cluster.shutdown cluster)
+
+let distributed_ack_durable_on_participant_crash () =
+  let sim = Sim.create () in
+  Sim.run sim (fun () ->
+      match Cluster.create sim (mk_config Config.treaty_enc_stab) ~route:explicit_route () with
+      | Error m -> Alcotest.failf "bootstrap: %s" m
+      | Ok cluster ->
+          let c = Client.connect_exn cluster ~client_id:1 in
+          (* A distributed tx acked by coordinator 1; participant 3 crashes
+             immediately. Its local commit record may not be stable — but
+             the coordinator's stabilized decision must drive recovery to
+             commit. *)
+          (match
+             Client.with_txn c ~coord:1 (fun txn ->
+                 match Client.put c txn "node1:a" "1" with
+                 | Ok () -> Client.put c txn "node3:b" "2"
+                 | Error e -> Error e)
+           with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "commit: %s" (Types.abort_reason_to_string e));
+          Cluster.crash_node cluster 2;
+          (match Cluster.restart_node cluster 2 with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "restart: %s" m);
+          (* Give the recovered participant time to resolve with the
+             coordinator. *)
+          Sim.sleep sim 1_000_000_000;
+          (match
+             Client.with_txn c ~coord:1 (fun txn ->
+                 match (Client.get c txn "node1:a", Client.get c txn "node3:b") with
+                 | Ok (Some "1"), Ok (Some "2") -> Ok ()
+                 | _ -> Error Types.Integrity)
+           with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.failf "acked distributed tx lost: %s"
+                (Types.abort_reason_to_string e));
+          Client.disconnect c;
+          Cluster.shutdown cluster)
+
+let no_stab_profile_vulnerable_to_rollback () =
+  (* The contrapositive: without stabilization, a disk rollback after a
+     crash is NOT detected — this is precisely the attack surface the
+     protocol exists to close. *)
+  let sim = Sim.create () in
+  Sim.run sim (fun () ->
+      match Cluster.create sim (mk_config Config.treaty_enc) ~route:explicit_route () with
+      | Error m -> Alcotest.failf "bootstrap: %s" m
+      | Ok cluster ->
+          let c = Client.connect_exn cluster ~client_id:1 in
+          (match
+             Client.with_txn c ~coord:1 (fun txn -> Client.put c txn "node1:v" "old")
+           with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "commit: %s" (Types.abort_reason_to_string e));
+          let ssd = Cluster.node_ssd cluster 0 in
+          let snapshot = Treaty_storage.Ssd.snapshot ssd in
+          (match
+             Client.with_txn c ~coord:1 (fun txn -> Client.put c txn "node1:v" "new")
+           with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "commit2: %s" (Types.abort_reason_to_string e));
+          Cluster.crash_node cluster 0;
+          Treaty_storage.Ssd.restore ssd snapshot;
+          (match Cluster.restart_node cluster 0 with
+          | Ok () -> () (* accepted the stale state: the vulnerability *)
+          | Error m -> Alcotest.failf "w/o Stab should not detect rollback: %s" m);
+          (match
+             Client.with_txn c ~coord:2 (fun txn ->
+                 match Client.get c txn "node1:v" with
+                 | Ok (Some "old") -> Ok () (* stale data served: QED *)
+                 | Ok (Some "new") -> Error Types.Integrity
+                 | _ -> Error Types.Participant_failed)
+           with
+          | Ok () -> ()
+          | Error _ -> Alcotest.fail "expected the stale value to be served");
+          Client.disconnect c;
+          Cluster.shutdown cluster)
+
+let stabilization_batches_across_concurrent_commits () =
+  let sim = Sim.create () in
+  Sim.run sim (fun () ->
+      match Cluster.create sim (mk_config Config.treaty_enc_stab) ~route:explicit_route () with
+      | Error m -> Alcotest.failf "bootstrap: %s" m
+      | Ok cluster ->
+          let latch = Treaty_sched.Scheduler.Latch.create 8 in
+          for cid = 1 to 8 do
+            Sim.spawn sim (fun () ->
+                (match Client.connect cluster ~client_id:cid with
+                | Error _ -> ()
+                | Ok c ->
+                    for i = 1 to 5 do
+                      ignore
+                        (Client.with_txn c ~coord:1 (fun txn ->
+                             Client.put c txn
+                               (Printf.sprintf "node1:k%d-%d" cid i)
+                               "v"))
+                    done;
+                    Client.disconnect c);
+                Treaty_sched.Scheduler.Latch.arrive latch)
+          done;
+          Treaty_sched.Scheduler.Latch.wait (Sim.sched sim) latch;
+          let node = Cluster.node cluster 0 in
+          (match Node.counter_client node with
+          | None -> Alcotest.fail "stab profile must have a counter client"
+          | Some cc ->
+              (* Batching happens at two levels: group commit merges the 40
+                 transactions into a handful of WAL entries (submits), and
+                 the counter client coalesces in-flight rounds. The 40
+                 commits must have cost far fewer than 40 ROTE rounds. *)
+              let s = Treaty_counter.Counter_client.stats cc in
+              Alcotest.(check bool)
+                (Printf.sprintf "rounds (%d) well below commits (40)"
+                   s.Treaty_counter.Counter_client.rounds_started)
+                true
+                (s.Treaty_counter.Counter_client.rounds_started <= 20
+                && s.Treaty_counter.Counter_client.rounds_started
+                   <= s.Treaty_counter.Counter_client.submits));
+          Cluster.shutdown cluster)
+
+let suite =
+  [
+    Alcotest.test_case "ack implies durable (immediate crash)" `Quick
+      ack_implies_durable_under_immediate_crash;
+    Alcotest.test_case "distributed ack durable on participant crash" `Quick
+      distributed_ack_durable_on_participant_crash;
+    Alcotest.test_case "w/o Stab: rollback goes undetected (by design)" `Quick
+      no_stab_profile_vulnerable_to_rollback;
+    Alcotest.test_case "stabilization batches counter rounds" `Slow
+      stabilization_batches_across_concurrent_commits;
+  ]

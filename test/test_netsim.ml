@@ -1,0 +1,137 @@
+(* Network simulation: delivery, serialization/propagation timing, crashed
+   endpoints, and every adversary action. *)
+
+module Sim = Treaty_sim.Sim
+module Net = Treaty_netsim.Net
+module Packet = Treaty_netsim.Packet
+module Adversary = Treaty_netsim.Adversary
+
+let with_net f =
+  let sim = Sim.create () in
+  let net = Net.create sim Treaty_sim.Costmodel.default in
+  Sim.run sim (fun () -> f sim net)
+
+let basic_delivery () =
+  with_net (fun sim net ->
+      let received = ref [] in
+      Net.register net ~id:1 (fun _ -> ());
+      Net.register net ~id:2 (fun pkt -> received := (Sim.now sim, pkt.Packet.payload) :: !received);
+      Net.send net ~src:1 ~dst:2 "hello";
+      Sim.sleep sim 1_000_000;
+      match !received with
+      | [ (t, "hello") ] ->
+          (* transmission + propagation: strictly positive, sane bound *)
+          Alcotest.(check bool) "took wire time" true (t > 0 && t < 100_000)
+      | _ -> Alcotest.fail "delivery failed")
+
+let nic_serialization () =
+  with_net (fun sim net ->
+      (* Two back-to-back big packets from one NIC serialize: the second
+         arrives later by at least one transmission time. *)
+      let times = ref [] in
+      Net.register net ~id:1 (fun _ -> ());
+      Net.register net ~id:2 (fun _ -> times := Sim.now sim :: !times);
+      let big = String.make 100_000 'x' in
+      Net.send net ~src:1 ~dst:2 big;
+      Net.send net ~src:1 ~dst:2 big;
+      Sim.sleep sim 10_000_000;
+      match List.rev !times with
+      | [ t1; t2 ] ->
+          let tx_time = 100_000 * 8 / 40 in
+          Alcotest.(check bool) "fifo serialization" true (t2 - t1 >= tx_time)
+      | _ -> Alcotest.fail "expected two deliveries")
+
+let crashed_endpoint_drops () =
+  with_net (fun sim net ->
+      let got = ref 0 in
+      Net.register net ~id:1 (fun _ -> ());
+      Net.register net ~id:2 (fun _ -> incr got);
+      Net.unregister net ~id:2;
+      Net.send net ~src:1 ~dst:2 "lost";
+      Sim.sleep sim 1_000_000;
+      Alcotest.(check int) "no delivery to crashed node" 0 !got;
+      Alcotest.(check int) "counted as dropped" 1 (Net.stats net).dropped;
+      (* Restart: registration replaces the handler. *)
+      Net.register net ~id:2 (fun _ -> incr got);
+      Net.send net ~src:1 ~dst:2 "back";
+      Sim.sleep sim 1_000_000;
+      Alcotest.(check int) "delivery after re-register" 1 !got)
+
+let adversary_actions () =
+  with_net (fun sim net ->
+      let payloads = ref [] in
+      Net.register net ~id:1 (fun _ -> ());
+      Net.register net ~id:2 (fun pkt -> payloads := pkt.Packet.payload :: !payloads);
+      (* Drop. *)
+      Net.set_adversary net (Adversary.drop_matching (fun _ -> true));
+      Net.send net ~src:1 ~dst:2 "dropped";
+      Sim.sleep sim 1_000_000;
+      Alcotest.(check int) "dropped" 0 (List.length !payloads);
+      (* Delay. *)
+      Net.set_adversary net (Adversary.delay_matching (fun _ -> true) ~ns:5_000_000);
+      let t0 = Sim.now sim in
+      Net.send net ~src:1 ~dst:2 "late";
+      Sim.sleep sim 10_000_000;
+      Alcotest.(check (list string)) "delivered late" [ "late" ] !payloads;
+      ignore t0;
+      (* Duplicate. *)
+      payloads := [];
+      Net.set_adversary net (Adversary.duplicate_matching (fun _ -> true));
+      Net.send net ~src:1 ~dst:2 "twice";
+      Sim.sleep sim 1_000_000;
+      Alcotest.(check int) "duplicated" 2 (List.length !payloads);
+      (* Tamper. *)
+      payloads := [];
+      Net.set_adversary net (Adversary.flip_byte ~at:0 (fun _ -> true));
+      Net.send net ~src:1 ~dst:2 "abc";
+      Sim.sleep sim 1_000_000;
+      (match !payloads with
+      | [ p ] -> Alcotest.(check bool) "modified" true (p <> "abc")
+      | _ -> Alcotest.fail "tampered packet lost");
+      (* nth_matching targets exactly one packet. *)
+      payloads := [];
+      Net.set_adversary net (Adversary.nth_matching (fun _ -> true) ~n:2 Adversary.Drop);
+      List.iter (fun p -> Net.send net ~src:1 ~dst:2 p) [ "a"; "b"; "c" ];
+      Sim.sleep sim 1_000_000;
+      Alcotest.(check (list string)) "only 2nd dropped" [ "a"; "c" ] (List.rev !payloads);
+      Net.clear_adversary net)
+
+let capture_and_replay () =
+  with_net (fun sim net ->
+      let count = ref 0 in
+      Net.register net ~id:1 (fun _ -> ());
+      Net.register net ~id:2 (fun _ -> incr count);
+      Net.capture net ~limit:10;
+      Net.send net ~src:1 ~dst:2 "original";
+      Sim.sleep sim 1_000_000;
+      let captured = Net.captured net in
+      Alcotest.(check int) "captured" 1 (List.length captured);
+      List.iter (Net.replay net) captured;
+      Sim.sleep sim 1_000_000;
+      Alcotest.(check int) "replay delivered" 2 !count)
+
+let client_vs_fabric_nic () =
+  with_net (fun sim net ->
+      (* A client-NIC endpoint sees much higher latency than fabric peers. *)
+      let fabric_t = ref 0 and client_t = ref 0 in
+      Net.register net ~id:1 (fun _ -> ());
+      Net.register net ~id:2 (fun _ -> fabric_t := Sim.now sim);
+      Net.register net ~id:1001 ~config:Net.client_config (fun _ -> client_t := Sim.now sim);
+      Net.send net ~src:1 ~dst:2 "f";
+      let t0 = Sim.now sim in
+      Sim.sleep sim 1_000_000;
+      Net.send net ~src:1 ~dst:1001 "c";
+      let t1 = Sim.now sim in
+      Sim.sleep sim 1_000_000;
+      Alcotest.(check bool) "client link slower" true
+        (!client_t - t1 > !fabric_t - t0))
+
+let suite =
+  [
+    Alcotest.test_case "basic delivery" `Quick basic_delivery;
+    Alcotest.test_case "nic serialization" `Quick nic_serialization;
+    Alcotest.test_case "crashed endpoint drops" `Quick crashed_endpoint_drops;
+    Alcotest.test_case "adversary actions" `Quick adversary_actions;
+    Alcotest.test_case "capture and replay" `Quick capture_and_replay;
+    Alcotest.test_case "client vs fabric NIC" `Quick client_vs_fabric_nic;
+  ]

@@ -1,0 +1,174 @@
+(* Simulation engine: event queue ordering and cancellation, deterministic
+   RNG, fiber scheduling, resources, timeouts. *)
+
+module Sim = Treaty_sim.Sim
+module Eventq = Treaty_sim.Eventq
+module Rng = Treaty_sim.Rng
+module Sched = Treaty_sched.Scheduler
+
+let eventq_order () =
+  let q = Eventq.create () in
+  let fired = ref [] in
+  ignore (Eventq.add q ~time:30 (fun () -> fired := 30 :: !fired));
+  ignore (Eventq.add q ~time:10 (fun () -> fired := 10 :: !fired));
+  ignore (Eventq.add q ~time:20 (fun () -> fired := 20 :: !fired));
+  let rec drain () =
+    match Eventq.pop q with
+    | Some (_, fn) ->
+        fn ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "time order" [ 30; 20; 10 ] !fired
+
+let eventq_fifo_same_time () =
+  let q = Eventq.create () in
+  let fired = ref [] in
+  List.iter (fun i -> ignore (Eventq.add q ~time:5 (fun () -> fired := i :: !fired))) [ 1; 2; 3 ];
+  let rec drain () = match Eventq.pop q with Some (_, f) -> f (); drain () | None -> () in
+  drain ();
+  Alcotest.(check (list int)) "fifo among equal times" [ 3; 2; 1 ] !fired
+
+let eventq_cancel () =
+  let q = Eventq.create () in
+  let fired = ref 0 in
+  let h1 = Eventq.add q ~time:1 (fun () -> incr fired) in
+  ignore (Eventq.add q ~time:2 (fun () -> incr fired));
+  Eventq.cancel h1;
+  Eventq.cancel h1 (* idempotent *);
+  Alcotest.(check int) "live count after cancel" 1 (Eventq.size q);
+  let rec drain () = match Eventq.pop q with Some (_, f) -> f (); drain () | None -> () in
+  drain ();
+  Alcotest.(check int) "cancelled did not fire" 1 !fired;
+  Alcotest.(check bool) "empty" true (Eventq.is_empty q)
+
+let rng_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let c = Rng.create 43L in
+  let different = ref false in
+  for _ = 1 to 20 do
+    if Rng.int a 1000 <> Rng.int c 1000 then different := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !different
+
+let rng_bounds () =
+  let r = Rng.create 7L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v;
+    let f = Rng.float r 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.failf "float out of bounds: %f" f
+  done
+
+let sim_sleep_ordering () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  Sim.run sim (fun () ->
+      Sim.spawn sim (fun () ->
+          Sim.sleep sim 50;
+          order := `B :: !order);
+      Sim.spawn sim (fun () ->
+          Sim.sleep sim 10;
+          order := `A :: !order);
+      Sim.sleep sim 100;
+      order := `C :: !order);
+  Alcotest.(check bool) "wakeups in time order" true (!order = [ `C; `B; `A ]);
+  Alcotest.(check int) "clock at last event" 100 (Sim.now sim)
+
+let sim_read_timeout () =
+  let sim = Sim.create () in
+  let results = ref [] in
+  Sim.run sim (fun () ->
+      let iv1 : int Sim.ivar = Sim.ivar () in
+      let iv2 : int Sim.ivar = Sim.ivar () in
+      Sim.spawn sim (fun () ->
+          Sim.sleep sim 10;
+          Sim.fill iv1 1);
+      Sim.spawn sim (fun () ->
+          let r = Sim.read_timeout sim ~ns:100 iv1 in
+          results := (`Fast, r) :: !results);
+      Sim.spawn sim (fun () ->
+          let r = Sim.read_timeout sim ~ns:50 iv2 in
+          results := (`Slow, r) :: !results);
+      Sim.sleep sim 200);
+  Alcotest.(check bool) "filled before deadline" true
+    (List.assoc `Fast !results = Some 1);
+  Alcotest.(check bool) "timed out" true (List.assoc `Slow !results = None)
+
+let resource_fifo_and_limit () =
+  let sim = Sim.create () in
+  let concurrent = ref 0 and peak = ref 0 and order = ref [] in
+  Sim.run sim (fun () ->
+      let r = Sim.Resource.create sim ~capacity:2 "r" in
+      for i = 1 to 5 do
+        Sim.spawn sim (fun () ->
+            Sim.Resource.acquire r;
+            incr concurrent;
+            if !concurrent > !peak then peak := !concurrent;
+            Sim.sleep sim 10;
+            order := i :: !order;
+            decr concurrent;
+            Sim.Resource.release r)
+      done);
+  Alcotest.(check int) "peak concurrency = capacity" 2 !peak;
+  Alcotest.(check (list int)) "FIFO completion" [ 5; 4; 3; 2; 1 ] !order
+
+let latch_and_ivar () =
+  let sim = Sim.create () in
+  let done_ = ref false in
+  Sim.run sim (fun () ->
+      let l = Sched.Latch.create 3 in
+      for _ = 1 to 3 do
+        Sim.spawn sim (fun () ->
+            Sim.sleep sim 5;
+            Sched.Latch.arrive l)
+      done;
+      Sched.Latch.wait (Sim.sched sim) l;
+      done_ := true);
+  Alcotest.(check bool) "latch released" true !done_
+
+let ivar_double_fill () =
+  let iv = Sched.Ivar.create () in
+  Sched.Ivar.fill iv 1;
+  Alcotest.(check bool) "try_fill on full" false (Sched.Ivar.try_fill iv 2);
+  Alcotest.check_raises "fill on full" (Invalid_argument "Ivar.fill: already full")
+    (fun () -> Sched.Ivar.fill iv 3);
+  Alcotest.(check (option int)) "value preserved" (Some 1) (Sched.Ivar.peek iv)
+
+let sim_determinism () =
+  (* Two identical runs produce identical final clocks and trace. *)
+  let run () =
+    let sim = Sim.create ~seed:99L () in
+    let trace = Buffer.create 64 in
+    Sim.run sim (fun () ->
+        let rng = Sim.rng sim in
+        for _ = 1 to 20 do
+          let d = Treaty_sim.Rng.int rng 100 in
+          Sim.spawn sim (fun () ->
+              Sim.sleep sim d;
+              Buffer.add_string trace (string_of_int (Sim.now sim)))
+        done;
+        Sim.sleep sim 200);
+    (Sim.now sim, Buffer.contents trace)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "bitwise identical runs" true (a = b)
+
+let suite =
+  [
+    Alcotest.test_case "eventq time order" `Quick eventq_order;
+    Alcotest.test_case "eventq fifo at equal time" `Quick eventq_fifo_same_time;
+    Alcotest.test_case "eventq cancellation" `Quick eventq_cancel;
+    Alcotest.test_case "rng determinism" `Quick rng_determinism;
+    Alcotest.test_case "rng bounds" `Quick rng_bounds;
+    Alcotest.test_case "sleep ordering" `Quick sim_sleep_ordering;
+    Alcotest.test_case "read_timeout" `Quick sim_read_timeout;
+    Alcotest.test_case "resource fifo + capacity" `Quick resource_fifo_and_limit;
+    Alcotest.test_case "latch" `Quick latch_and_ivar;
+    Alcotest.test_case "ivar double fill" `Quick ivar_double_fill;
+    Alcotest.test_case "simulation determinism" `Quick sim_determinism;
+  ]

@@ -1,0 +1,75 @@
+(* Wire codec: roundtrips and hostile-input behaviour (everything parsed
+   from untrusted bytes must fail closed with Malformed). *)
+
+module Wire = Treaty_util.Wire
+
+let roundtrip () =
+  let b = Buffer.create 64 in
+  Wire.w8 b 255;
+  Wire.w32 b 123_456_789;
+  Wire.w64 b 9_007_199_254_740_991;
+  Wire.wbool b true;
+  Wire.wstr b "hello";
+  Wire.wstr b "";
+  Wire.wlist b Wire.w64 [ 1; 2; 3 ];
+  let r = Wire.reader (Buffer.contents b) in
+  Alcotest.(check int) "w8" 255 (Wire.r8 r);
+  Alcotest.(check int) "w32" 123_456_789 (Wire.r32 r);
+  Alcotest.(check int) "w64" 9_007_199_254_740_991 (Wire.r64 r);
+  Alcotest.(check bool) "wbool" true (Wire.rbool r);
+  Alcotest.(check string) "wstr" "hello" (Wire.rstr r);
+  Alcotest.(check string) "empty wstr" "" (Wire.rstr r);
+  Alcotest.(check (list int)) "wlist" [ 1; 2; 3 ] (Wire.rlist r Wire.r64);
+  Alcotest.(check bool) "at_end" true (Wire.at_end r)
+
+let truncated_fails () =
+  let b = Buffer.create 8 in
+  Wire.wstr b "long string here";
+  let s = Buffer.contents b in
+  (* Any strict prefix must raise Malformed, never return garbage. *)
+  for cut = 0 to String.length s - 1 do
+    let r = Wire.reader (String.sub s 0 cut) in
+    match Wire.rstr r with
+    | exception Wire.Malformed _ -> ()
+    | got -> Alcotest.failf "prefix %d decoded to %S" cut got
+  done
+
+let hostile_lengths () =
+  (* A length prefix claiming more data than exists. *)
+  let b = Buffer.create 8 in
+  Wire.w32 b 1_000_000;
+  Buffer.add_string b "short";
+  (match Wire.rstr (Wire.reader (Buffer.contents b)) with
+  | exception Wire.Malformed _ -> ()
+  | _ -> Alcotest.fail "oversized length accepted");
+  (* A list length that cannot possibly fit. *)
+  let b2 = Buffer.create 8 in
+  Wire.w32 b2 0x7FFFFFFF;
+  (match Wire.rlist (Wire.reader (Buffer.contents b2)) Wire.r8 with
+  | exception Wire.Malformed _ -> ()
+  | _ -> Alcotest.fail "absurd list length accepted")
+
+let prop_wstr_roundtrip =
+  QCheck.Test.make ~name:"wstr roundtrip on arbitrary bytes" ~count:300
+    (QCheck.string_of_size QCheck.Gen.(0 -- 1000))
+    (fun s ->
+      let b = Buffer.create 16 in
+      Wire.wstr b s;
+      Wire.rstr (Wire.reader (Buffer.contents b)) = s)
+
+let prop_ints_roundtrip =
+  QCheck.Test.make ~name:"w64 roundtrip" ~count:300
+    QCheck.(int_bound max_int)
+    (fun n ->
+      let b = Buffer.create 8 in
+      Wire.w64 b n;
+      Wire.r64 (Wire.reader (Buffer.contents b)) = n)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick roundtrip;
+    Alcotest.test_case "truncation fails closed" `Quick truncated_fails;
+    Alcotest.test_case "hostile lengths fail closed" `Quick hostile_lengths;
+    QCheck_alcotest.to_alcotest prop_wstr_roundtrip;
+    QCheck_alcotest.to_alcotest prop_ints_roundtrip;
+  ]
