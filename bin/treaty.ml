@@ -191,6 +191,29 @@ let recover_cmd profile crash_after =
       Client.disconnect c;
       Cluster.shutdown cluster)
 
+(* --- chaos --------------------------------------------------------------- *)
+
+let chaos_cmd seeds first_seed nodes clients horizon_ms =
+  let cfg =
+    {
+      Treaty_chaos.Chaos.default_config with
+      Treaty_chaos.Chaos.nodes;
+      clients;
+      horizon_ns = horizon_ms * 1_000_000;
+    }
+  in
+  let failures = ref 0 in
+  for seed = first_seed to first_seed + seeds - 1 do
+    match Treaty_chaos.Chaos.run_seed ~config:cfg ~seed () with
+    | Ok r ->
+        Format.printf "PASS %a@." Treaty_chaos.Chaos.pp_report r
+    | Error m ->
+        incr failures;
+        Printf.printf "FAIL seed=%d: %s\n%!" seed m
+  done;
+  Printf.printf "%d/%d seeds passed\n" (seeds - !failures) seeds;
+  if !failures > 0 then exit 1
+
 (* --- cmdliner wiring ------------------------------------------------------ *)
 
 open Cmdliner
@@ -208,6 +231,10 @@ let warehouses_arg = Arg.(value & opt int 4 & info [ "warehouses" ] ~doc:"TPC-C 
 let read_pct_arg = Arg.(value & opt int 50 & info [ "read-pct" ] ~doc:"YCSB read percentage.")
 let attack_arg = Arg.(value & opt string "rollback" & info [ "kind" ] ~doc:"rollback, tamper or replay.")
 let crash_after_arg = Arg.(value & opt int 20 & info [ "crash-after" ] ~doc:"Transactions before the crash.")
+let seeds_arg = Arg.(value & opt int 50 & info [ "seeds" ] ~doc:"How many fault schedules to sweep.")
+let first_seed_arg = Arg.(value & opt int 1 & info [ "first-seed" ] ~doc:"First seed of the sweep.")
+let chaos_clients_arg = Arg.(value & opt int 3 & info [ "clients" ] ~doc:"Workload clients per run.")
+let horizon_arg = Arg.(value & opt int 600 & info [ "horizon-ms" ] ~doc:"Fault window length (simulated ms).")
 
 let run_term =
   Term.(const run_cmd $ profile_arg $ nodes_arg $ workload_arg $ clients_arg
@@ -220,6 +247,14 @@ let cmds =
       Term.(const attack_cmd $ profile_arg $ attack_arg);
     Cmd.v (Cmd.info "recover" ~doc:"Crash a node and time its recovery")
       Term.(const recover_cmd $ profile_arg $ crash_after_arg);
+    Cmd.v
+      (Cmd.info "chaos"
+         ~doc:
+           "Sweep seeded fault schedules (crashes, partitions, CAS outages, \
+            delay/duplication) and check serializability, durability, \
+            atomicity and leak-freedom after each.")
+      Term.(const chaos_cmd $ seeds_arg $ first_seed_arg $ nodes_arg
+            $ chaos_clients_arg $ horizon_arg);
   ]
 
 let () =

@@ -1,0 +1,67 @@
+module Rng = Treaty_sim.Rng
+
+type window = { at_ns : int; dur_ns : int }
+
+type fault =
+  | Crash_restart of { node : int; at_ns : int; down_ns : int }
+  | Cas_blackout of window
+  | Partition of { window : window; island : int }
+  | Delay_spike of { window : window; extra_ns : int }
+  | Duplicate_burst of { window : window; percent : int }
+
+type t = { seed : int; nodes : int; horizon_ns : int; faults : fault list }
+
+let ms n = n * 1_000_000
+
+(* A window starting somewhere in the horizon and ending inside it, so the
+   post-schedule drain begins with the adversary quiet. *)
+let window rng ~horizon_ns ~min_dur ~max_dur =
+  let dur_ns = min_dur + Rng.int rng (max_dur - min_dur + 1) in
+  let latest = max 1 (horizon_ns - dur_ns) in
+  { at_ns = Rng.int rng latest; dur_ns }
+
+let generate ~seed ~nodes ~horizon_ns =
+  let rng = Rng.create (Int64.of_int (0x5eed_c4a0 lxor seed)) in
+  let n_faults = 2 + Rng.int rng 4 in
+  let fault () =
+    match Rng.int rng 5 with
+    | 0 ->
+        let node = Rng.int rng nodes in
+        let down_ns = ms 50 + Rng.int rng (ms 250) in
+        Crash_restart { node; at_ns = Rng.int rng (max 1 (horizon_ns / 2)); down_ns }
+    | 1 -> Cas_blackout (window rng ~horizon_ns ~min_dur:(ms 40) ~max_dur:(ms 150))
+    | 2 ->
+        Partition
+          {
+            window = window rng ~horizon_ns ~min_dur:(ms 40) ~max_dur:(ms 200);
+            island = 1 + Rng.int rng nodes;
+          }
+    | 3 ->
+        Delay_spike
+          {
+            window = window rng ~horizon_ns ~min_dur:(ms 50) ~max_dur:(ms 200);
+            extra_ns = ms 5 + Rng.int rng (ms 40);
+          }
+    | _ ->
+        Duplicate_burst
+          {
+            window = window rng ~horizon_ns ~min_dur:(ms 50) ~max_dur:(ms 250);
+            percent = 10 + Rng.int rng 40;
+          }
+  in
+  { seed; nodes; horizon_ns; faults = List.init n_faults (fun _ -> fault ()) }
+
+let fault_to_string = function
+  | Crash_restart { node; at_ns; down_ns } ->
+      Printf.sprintf "crash(node=%d at=%d down=%d)" node at_ns down_ns
+  | Cas_blackout w -> Printf.sprintf "cas_blackout(at=%d dur=%d)" w.at_ns w.dur_ns
+  | Partition { window = w; island } ->
+      Printf.sprintf "partition(island=%d at=%d dur=%d)" island w.at_ns w.dur_ns
+  | Delay_spike { window = w; extra_ns } ->
+      Printf.sprintf "delay(at=%d dur=%d extra=%d)" w.at_ns w.dur_ns extra_ns
+  | Duplicate_burst { window = w; percent } ->
+      Printf.sprintf "dup(at=%d dur=%d pct=%d)" w.at_ns w.dur_ns percent
+
+let to_string t =
+  Printf.sprintf "seed=%d nodes=%d horizon=%d [%s]" t.seed t.nodes t.horizon_ns
+    (String.concat "; " (List.map fault_to_string t.faults))

@@ -1,0 +1,45 @@
+(** Deterministic fault schedules.
+
+    A schedule is a finite set of timed faults — node crash/restart cycles,
+    CAS blackouts, network partitions, delay spikes and duplication bursts —
+    drawn from a seeded RNG. The same seed always yields the same schedule
+    (an acceptance requirement: failures must be reproducible by seed), and
+    the runner executes it against simulated time, so the whole run is
+    deterministic end to end.
+
+    Times are nanoseconds relative to the start of the measured workload
+    window; every fault ends within the horizon except crash/restart
+    downtime, which may spill past it (the runner waits for the restart). *)
+
+type window = { at_ns : int; dur_ns : int }
+
+type fault =
+  | Crash_restart of { node : int; at_ns : int; down_ns : int }
+      (** Power-cycle node [node] (0-based cluster index): volatile state
+          lost, SSD retained, recovery + re-attestation on restart. *)
+  | Cas_blackout of window
+      (** Drop all traffic to/from the CAS: restarts during the window
+          cannot attest and must retry. *)
+  | Partition of { window : window; island : int }
+      (** Isolate storage node with wire id [island] from the rest of the
+          fabric (other storage nodes and the CAS); clients still reach it. *)
+  | Delay_spike of { window : window; extra_ns : int }
+      (** Add [extra_ns] to every fabric packet in the window. *)
+  | Duplicate_burst of { window : window; percent : int }
+      (** Duplicate [percent]% of fabric packets in the window (replay
+          pressure on the at-most-once layer). *)
+
+type t = {
+  seed : int;
+  nodes : int;
+  horizon_ns : int;
+  faults : fault list;  (** In generation order (not sorted by time). *)
+}
+
+val generate : seed:int -> nodes:int -> horizon_ns:int -> t
+(** Draw 2–5 faults from a SplitMix64 stream keyed by [seed] alone —
+    byte-for-byte reproducible. *)
+
+val fault_to_string : fault -> string
+val to_string : t -> string
+(** Canonical rendering; equal strings iff equal schedules. *)

@@ -188,6 +188,23 @@ let restart_node t i =
                 t.nodes.(i) <- Live n;
                 Ok ()))
 
+let check_quiescent t =
+  let leaks = ref [] in
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Crashed _ -> ()
+      | Live n ->
+          let r = Node.residual_state n in
+          if Node.residual_total r > 0 then
+            leaks :=
+              Printf.sprintf "node %d: %s" (i + 1) (Node.residual_to_string r)
+              :: !leaks)
+    t.nodes;
+  match !leaks with
+  | [] -> Ok ()
+  | l -> Error (String.concat "; " (List.rev l))
+
 let crash_cas t =
   match t.cas with
   | Some cas ->

@@ -51,6 +51,13 @@ val restart_node : t -> int -> (unit, string) result
 
 val crash_cas : t -> unit
 
+val check_quiescent : t -> (unit, string) result
+(** Leak-freedom: every live node's residual protocol state
+    ({!Node.residual_state}) must be empty — no at-most-once cache entries,
+    held locks, live transaction contexts or prepared-undecided engine
+    transactions. Call only after all traffic has stopped and sweeps/TTLs
+    have had time to run. [Error] names the leaking nodes and counters. *)
+
 val node_ssd : t -> int -> Treaty_storage.Ssd.t
 (** The node's persistent store — live or crashed — for adversary tests. *)
 

@@ -45,6 +45,14 @@ type t = {
   transport_params : Treaty_rpc.Transport.params;
   rpc_timeout_ns : int;
   client_op_timeout_ns : int;
+  decision_query_timeout_ns : int;
+  recovery_resolve_attempts : int;
+  recovery_resolve_retry_ns : int;
+  sweep_interval_ns : int;
+  part_prepared_resolve_ns : int;
+  part_stale_abort_ns : int;
+  coord_tx_abandon_ns : int;
+  dedup_ttl_ns : int;
   record_history : bool;
   naive_rpc_port : bool;
   seed : int64;
@@ -64,6 +72,14 @@ let default =
     transport_params = Treaty_rpc.Transport.default_params;
     rpc_timeout_ns = 120_000_000;
     client_op_timeout_ns = 400_000_000;
+    decision_query_timeout_ns = 20_000_000;
+    recovery_resolve_attempts = 25;
+    recovery_resolve_retry_ns = 20_000_000;
+    sweep_interval_ns = 250_000_000;
+    part_prepared_resolve_ns = 400_000_000;
+    part_stale_abort_ns = 1_000_000_000;
+    coord_tx_abandon_ns = 3_000_000_000;
+    dedup_ttl_ns = 2_000_000_000;
     record_history = false;
     naive_rpc_port = false;
     seed = 0xC0FFEEL;

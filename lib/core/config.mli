@@ -43,6 +43,25 @@ type t = {
   transport_params : Treaty_rpc.Transport.params;
   rpc_timeout_ns : int;
   client_op_timeout_ns : int;
+  decision_query_timeout_ns : int;
+      (** Timeout for cooperative-termination decision queries
+          ([k_query_decision]); chaos schedules with large delay spikes need
+          it above the spike so prepared transactions are not stranded. *)
+  recovery_resolve_attempts : int;
+      (** Retries a recovering participant makes resolving a prepared tx. *)
+  recovery_resolve_retry_ns : int;  (** Backoff between those retries. *)
+  sweep_interval_ns : int;  (** Background hygiene sweep period. *)
+  part_prepared_resolve_ns : int;
+      (** Age at which a prepared participant tx is driven to resolution. *)
+  part_stale_abort_ns : int;
+      (** Age at which an unprepared participant tx (silent coordinator) is
+          aborted to unblock its keys. *)
+  coord_tx_abandon_ns : int;
+      (** Age at which an idle coordinator tx (vanished client) is aborted;
+          transactions mid-commit are never touched. *)
+  dedup_ttl_ns : int;
+      (** TTL for non-transactional at-most-once cache entries (see
+          {!Treaty_rpc.Erpc.config}). *)
   record_history : bool;  (** Feed the serializability checker. *)
   naive_rpc_port : bool;
       (** Ablation: the unmodified eRPC-in-SCONE port — message buffers in

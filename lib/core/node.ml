@@ -61,6 +61,8 @@ type coord_tx = {
   mutable ct_next_op : int;
   ct_remote : (int, remote_slice) Hashtbl.t;
   ct_started : int;
+  mutable ct_committing : bool;
+      (* Commit in progress: the abandoned-tx sweep must not abort it. *)
 }
 
 type t = {
@@ -93,6 +95,31 @@ let ssd t = t.ssd
 let locks t = t.locks
 let rote t = t.rote
 let counter_client t = t.counter_client
+
+type residual = {
+  res_dedup : int;
+  res_locked_keys : int;
+  res_part_txs : int;
+  res_coord_txs : int;
+  res_prepared : int;
+}
+
+let residual_state t =
+  {
+    res_dedup = Erpc.dedup_size t.rpc;
+    res_locked_keys = Lock_table.locked_keys t.locks;
+    res_part_txs = Hashtbl.length t.part_txs;
+    res_coord_txs = Hashtbl.length t.coord_txs;
+    res_prepared = List.length (Engine.prepared_txs t.engine);
+  }
+
+let residual_total r =
+  r.res_dedup + r.res_locked_keys + r.res_part_txs + r.res_coord_txs
+  + r.res_prepared
+
+let residual_to_string r =
+  Printf.sprintf "dedup=%d locked=%d part_txs=%d coord_txs=%d prepared=%d"
+    r.res_dedup r.res_locked_keys r.res_part_txs r.res_coord_txs r.res_prepared
 
 let fresh_stats () =
   {
@@ -353,6 +380,7 @@ let handle_client_begin t _meta payload =
             ct_next_op = 0;
             ct_remote = Hashtbl.create 4;
             ct_started = Sim.now t.deps.sim;
+            ct_committing = false;
           }
         in
         Hashtbl.replace t.coord_txs seq ctx;
@@ -631,6 +659,7 @@ let handle_client_commit t _meta payload =
       match Hashtbl.find_opt t.coord_txs tx_seq with
       | None -> status_reply 2
       | Some ctx -> (
+          ctx.ct_committing <- true;
           let result =
             if Hashtbl.length ctx.ct_remote = 0 then commit_single_node t ctx
             else commit_distributed t ctx
@@ -706,7 +735,7 @@ let resolve_in_doubt t ~coord ~tx_seq =
   Wire.w64 b tx_seq;
   match
     Erpc.call t.rpc ~dst:coord ~kind:k_query_decision
-      ~timeout_ns:20_000_000 (Buffer.contents b)
+      ~timeout_ns:t.deps.config.decision_query_timeout_ns (Buffer.contents b)
   with
   | Ok "c" ->
       ignore (Engine.resolve t.engine ~tx:(coord, tx_seq) ~commit:true);
@@ -717,24 +746,27 @@ let resolve_in_doubt t ~coord ~tx_seq =
   | Ok _ | Error (`Timeout | `Tampered) -> ()
 
 (* Background hygiene: abort participant contexts whose coordinator went
-   silent before prepare (their locks must not block the key space), and
-   drive in-doubt *prepared* transactions to resolution by querying their
-   coordinators. *)
+   silent before prepare (their locks must not block the key space), drive
+   in-doubt *prepared* transactions to resolution by querying their
+   coordinators, abort coordinator contexts whose client vanished, and age
+   out non-transactional at-most-once cache entries. *)
 let start_sweeper t =
+  let cfg = t.deps.config in
   Sim.spawn t.deps.sim (fun () ->
       while t.alive do
-        Sim.sleep t.deps.sim 250_000_000;
+        Sim.sleep t.deps.sim cfg.sweep_interval_ns;
         if t.alive then begin
+          Erpc.expire_dedup t.rpc;
           let now = Sim.now t.deps.sim in
           let prepared = Engine.prepared_txs t.engine in
           let stale, in_doubt =
             Hashtbl.fold
               (fun key (_, created) (stale, in_doubt) ->
                 let is_prepared = List.mem key prepared in
-                if is_prepared && now - created > 400_000_000 then
-                  (stale, key :: in_doubt)
-                else if (not is_prepared) && now - created > 1_000_000_000 then
-                  (key :: stale, in_doubt)
+                if is_prepared && now - created > cfg.part_prepared_resolve_ns
+                then (stale, key :: in_doubt)
+                else if (not is_prepared) && now - created > cfg.part_stale_abort_ns
+                then (key :: stale, in_doubt)
                 else (stale, in_doubt))
               t.part_txs ([], [])
           in
@@ -750,7 +782,29 @@ let start_sweeper t =
             (fun (coord, tx_seq) ->
               Sim.spawn t.deps.sim (fun () ->
                   if t.alive then resolve_in_doubt t ~coord ~tx_seq))
-            (in_doubt @ orphaned)
+            (in_doubt @ orphaned);
+          (* Coordinator contexts abandoned by their client (crashed client,
+             lost rollback, begin whose ack never arrived) hold locks and a
+             pinned snapshot forever; abort them once idle past the
+             threshold. A commit in flight is never aborted from here. *)
+          let abandoned =
+            Hashtbl.fold
+              (fun _ ctx acc ->
+                if
+                  (not ctx.ct_committing)
+                  && now - ctx.ct_started > cfg.coord_tx_abandon_ns
+                then ctx :: acc
+                else acc)
+              t.coord_txs []
+          in
+          List.iter
+            (fun ctx ->
+              Sim.spawn t.deps.sim (fun () ->
+                  if
+                    t.alive && (not ctx.ct_committing)
+                    && Hashtbl.mem t.coord_txs ctx.ct_seq
+                  then abort_tx t ctx))
+            abandoned
         end
       done)
 
@@ -773,6 +827,7 @@ let build_parts (deps : deps) ssd =
       Erpc.transport = cfg.transport;
       params = cfg.transport_params;
       timeout_ns = cfg.rpc_timeout_ns;
+      dedup_ttl_ns = cfg.dedup_ttl_ns;
       msgbuf_region = (if cfg.naive_rpc_port then Mempool.Enclave else Mempool.Host);
       rdtsc_ocalls = cfg.naive_rpc_port;
     }
@@ -793,7 +848,35 @@ let build_parts (deps : deps) ssd =
     Lock_table.create deps.sim ~enclave ~shards:cfg.lock_shards
       ~timeout_ns:cfg.lock_timeout_ns
   in
-  let rote = Rote.create_replica rpc ~group:deps.peers () in
+  (* The replica's sealed counter table lives on the node's own SSD so a
+     crashed node resumes from its latest confirmed counters even when its
+     protection-group peers are down too (overlapping crashes). Records are
+     length-framed appends: a crash mid-write can only tear the last record,
+     which then fails to unseal and the previous one is used. *)
+  let rote_seal_file = "rote.seal" in
+  let rote_persist blob =
+    let b = Buffer.create (String.length blob + 8) in
+    Wire.wstr b blob;
+    ignore (Ssd.append ssd ~enclave rote_seal_file (Buffer.contents b))
+  in
+  let rote_restore () =
+    let len = Ssd.size ssd rote_seal_file in
+    if len = 0 then []
+    else begin
+      let data = Ssd.read ssd ~enclave rote_seal_file ~off:0 ~len in
+      let r = Wire.reader data in
+      let rec go acc =
+        match Wire.rstr r with
+        | blob -> go (blob :: acc)
+        | exception Wire.Malformed _ -> List.rev acc
+      in
+      go []
+    end
+  in
+  let rote =
+    Rote.create_replica rpc ~group:deps.peers ~persist:rote_persist
+      ~restore:rote_restore ()
+  in
   let counter_client =
     if cfg.profile.stabilization then
       Some (Counter_client.create rote ~owner:deps.node_id)
@@ -938,6 +1021,7 @@ let recover_with deps ~ssd =
                     let b = Buffer.create 8 in
                     Wire.w64 b tx_seq;
                     Erpc.call t.rpc ~dst:coord ~kind:k_query_decision
+                      ~timeout_ns:deps.config.decision_query_timeout_ns
                       (Buffer.contents b)
                   with
                   | Ok "c" ->
@@ -947,10 +1031,10 @@ let recover_with deps ~ssd =
                       ignore (Engine.resolve t.engine ~tx:(coord, tx_seq) ~commit:false);
                       finish_participant t ~coord ~tx_seq
                   | Ok _ | Error (`Timeout | `Tampered) ->
-                      Sim.sleep deps.sim 20_000_000;
+                      Sim.sleep deps.sim deps.config.recovery_resolve_retry_ns;
                       resolve_loop (attempts - 1)
               in
-              resolve_loop 25))
+              resolve_loop deps.config.recovery_resolve_attempts))
         info.Engine.prepared;
       t.recovering <- false;
       Ok t

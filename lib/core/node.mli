@@ -68,6 +68,21 @@ val counter_client : t -> Treaty_counter.Counter_client.t option
 
 val authenticate_client : t -> client_id:int -> token:string -> bool
 
+(** Residual protocol state — everything that must drain to zero once all
+    transactions have finished and duplicates have aged out. The chaos
+    harness checks it after every fault schedule (leak-freedom). *)
+type residual = {
+  res_dedup : int;  (** At-most-once cache entries ({!Treaty_rpc.Erpc.dedup_size}). *)
+  res_locked_keys : int;  (** Keys with at least one lock holder. *)
+  res_part_txs : int;  (** Live participant transaction contexts. *)
+  res_coord_txs : int;  (** Live coordinator transaction contexts. *)
+  res_prepared : int;  (** Prepared, undecided transactions in the engine. *)
+}
+
+val residual_state : t -> residual
+val residual_total : residual -> int
+val residual_to_string : residual -> string
+
 val crash : t -> Treaty_storage.Ssd.t
 (** Kill the node: volatile state is gone, the endpoint unregisters, the SSD
     survives and is returned for a later {!recover_with}. *)

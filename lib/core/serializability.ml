@@ -100,9 +100,49 @@ let check t =
   | None -> Serializable
   | Some idxs -> Cycle (List.map (fun i -> txs.(i).tx) idxs)
 
+let dump_key t key =
+  let lines =
+    List.filter_map
+      (fun ti ->
+        let hits tag l =
+          List.filter_map
+            (fun (k, s) -> if k = key then Some (Printf.sprintf "%s@%d" tag s) else None)
+            l
+        in
+        match hits "r" ti.reads @ hits "w" ti.writes with
+        | [] -> None
+        | hs ->
+            Some
+              (Printf.sprintf "  %s: %s"
+                 (Format.asprintf "%a" Types.pp_txid ti.tx)
+                 (String.concat " " hs)))
+      (List.rev t.txs)
+  in
+  Printf.sprintf "%s (commit-record order):\n%s" key (String.concat "\n" lines)
+
 let dump_tx t tx =
   match List.find_opt (fun ti -> ti.tx = tx) t.txs with
   | None -> "(not recorded)"
   | Some ti ->
       let fmt l = String.concat ", " (List.map (fun (k, s) -> Printf.sprintf "%s@%d" k s) l) in
       Printf.sprintf "reads=[%s] writes=[%s]" (fmt ti.reads) (fmt ti.writes)
+
+let dump_cycle t txs =
+  let tx_lines =
+    List.map
+      (fun tx -> Format.asprintf "%a: %s" Types.pp_txid tx (dump_tx t tx))
+      txs
+  in
+  let keys =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun tx ->
+           match List.find_opt (fun ti -> ti.tx = tx) t.txs with
+           | None -> []
+           | Some ti -> List.map fst ti.reads @ List.map fst ti.writes)
+         txs)
+  in
+  Printf.sprintf "cycle through [%s]\n%s\n%s"
+    (String.concat "; " (List.map (Format.asprintf "%a" Types.pp_txid) txs))
+    (String.concat "\n" tx_lines)
+    (String.concat "\n" (List.map (dump_key t) keys))

@@ -60,7 +60,8 @@ let seal_state t =
   seal_cost t;
   t.persist (Enclave.seal (Erpc.enclave t.rpc) (Buffer.contents b))
 
-let create_replica rpc ~group ?(persist = fun _ -> ()) () =
+let create_replica rpc ~group ?(persist = fun _ -> ()) ?(restore = fun () -> [])
+    () =
   let t =
     {
       rpc;
@@ -72,6 +73,30 @@ let create_replica rpc ~group ?(persist = fun _ -> ()) () =
       stats = { increments = 0; rounds = 0; quorum_failures = 0; queries = 0 };
     }
   in
+  (* Re-seed from the newest sealed snapshot that authenticates (a torn or
+     tampered tail just falls back to the previous one). *)
+  let load plain =
+    let r = Wire.reader plain in
+    let rec go () =
+      if not (Wire.at_end r) then begin
+        let owner = Wire.r64 r in
+        let log = Wire.rstr r in
+        let value = Wire.r64 r in
+        let cur = Option.value ~default:0 (Hashtbl.find_opt t.committed (owner, log)) in
+        Hashtbl.replace t.committed (owner, log) (max cur value);
+        go ()
+      end
+    in
+    (try go () with Wire.Malformed _ -> ())
+  in
+  let rec try_restore = function
+    | [] -> ()
+    | blob :: older -> (
+        match Enclave.unseal (Erpc.enclave rpc) blob with
+        | Ok plain -> load plain
+        | Error (`Mac_mismatch | `Truncated) -> try_restore older)
+  in
+  try_restore (List.rev (restore ()));
   Erpc.register rpc ~kind:kind_echo1 (fun _meta payload ->
       proc_cost t;
       let owner, log, value = decode_update payload in

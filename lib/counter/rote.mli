@@ -31,10 +31,22 @@ type stats = {
 }
 
 val create_replica :
-  Treaty_rpc.Erpc.t -> group:int list -> ?persist:(string -> unit) -> unit -> replica
+  Treaty_rpc.Erpc.t ->
+  group:int list ->
+  ?persist:(string -> unit) ->
+  ?restore:(unit -> string list) ->
+  unit ->
+  replica
 (** Join the protection group [group] (node ids, self included), registering
     the counter RPC handlers on this node's endpoint. [persist] receives the
-    sealed counter state after each confirmed increment. *)
+    sealed counter state after each confirmed increment; [restore] returns
+    previously persisted blobs, oldest first — the newest one that unseals
+    under this enclave's identity re-seeds the replica (ROTE step 5: a
+    restarting SE resumes from its sealed state, so a crashed node's own
+    counters survive even when the peers that ack'd them are down too).
+    Restored state can only be stale-or-equal, never ahead, so the group
+    [query] max stays correct; rolling the sealed file back is caught by any
+    live peer holding a higher value. *)
 
 val stats : replica -> stats
 val sim : replica -> Treaty_sim.Sim.t

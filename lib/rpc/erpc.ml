@@ -10,6 +10,7 @@ type config = {
   msgbuf_region : Mempool.region;
   rdtsc_ocalls : bool;
   timeout_ns : int;
+  dedup_ttl_ns : int;
 }
 
 let default_config ~security =
@@ -20,6 +21,7 @@ let default_config ~security =
     msgbuf_region = Mempool.Host;
     rdtsc_ocalls = false;
     timeout_ns = 50_000_000 (* 50 ms *);
+    dedup_ttl_ns = 2_000_000_000 (* 2 s *);
   }
 
 type error = [ `Timeout | `Tampered ]
@@ -51,6 +53,10 @@ type t = {
   pending : (int, (string, error) result Sim.ivar) Hashtbl.t;
   dedup : (int * int * int, dedup_entry) Hashtbl.t;
   dedup_by_tx : (int * int, int list ref) Hashtbl.t;
+  dedup_expiry : ((int * int) * int) Queue.t;
+      (* (coord, tx_seq) of non-transactional identities with insertion time,
+         oldest first: their callers never send forget_tx, so they are
+         reclaimed by TTL instead. *)
   mutable next_req_id : int;
   epoch : int;
   mutable next_tx_seq : int;
@@ -70,6 +76,8 @@ let with_msgbuf t size f =
   Fun.protect ~finally:(fun () -> Mempool.free t.pool ~owner:t.node_id buf) f
 
 let send_wire t ~dst meta data =
+  if not t.alive then ()
+  else
   let data_len = String.length data in
   let wire_len = Secure_msg.wire_size t.config.security ~data_len in
   with_msgbuf t wire_len (fun () ->
@@ -93,14 +101,42 @@ let record_dedup t key entry =
     | None ->
         let l = ref [] in
         Hashtbl.replace t.dedup_by_tx (coord, tx_seq) l;
+        (* Non-transactional identities (tx_seq < 0) have no commit/abort to
+           forget them; schedule TTL reclamation instead. *)
+        if tx_seq < 0 then Queue.push ((coord, tx_seq), Sim.now t.sim) t.dedup_expiry;
         l
   in
   let _, _, op = key in
   ops := op :: !ops
 
+let forget_tx t ~coord ~tx_seq =
+  match Hashtbl.find_opt t.dedup_by_tx (coord, tx_seq) with
+  | None -> ()
+  | Some ops ->
+      List.iter (fun op -> Hashtbl.remove t.dedup (coord, tx_seq, op)) !ops;
+      Hashtbl.remove t.dedup_by_tx (coord, tx_seq)
+
+let expire_dedup t =
+  let now = Sim.now t.sim in
+  let rec drain () =
+    match Queue.peek_opt t.dedup_expiry with
+    | Some ((coord, tx_seq), born) when now - born >= t.config.dedup_ttl_ns ->
+        ignore (Queue.pop t.dedup_expiry);
+        forget_tx t ~coord ~tx_seq;
+        drain ()
+    | _ -> ()
+  in
+  drain ()
+
+let dedup_size t = Hashtbl.length t.dedup
+
 let handle_request t (meta : Secure_msg.meta) data =
+  expire_dedup t;
   let key = Secure_msg.at_most_once_key meta in
-  let reply payload = send_response t ~dst:meta.src meta payload in
+  (* A crashed/stopped endpoint must not answer — not even from its response
+     cache: only the [alive] check at reply time covers handlers and cache
+     reads that blocked across the crash. *)
+  let reply payload = if t.alive then send_response t ~dst:meta.src meta payload in
   match Hashtbl.find_opt t.dedup key with
   | Some (Done payload) ->
       (* Replayed/duplicated request: answer from the cache, never
@@ -118,9 +154,13 @@ let handle_request t (meta : Secure_msg.meta) data =
           let running = Sim.ivar () in
           record_dedup t key (Running running);
           let payload = handler meta data in
-          Hashtbl.replace t.dedup key (Done payload);
+          (* The handler may have torn down this transaction's dedup state
+             (commit/abort run [forget_tx] while finishing the tx); blindly
+             re-inserting [Done] here would orphan the entry — present in
+             [dedup] but absent from [dedup_by_tx] — and leak it forever. *)
+          if Hashtbl.mem t.dedup key then Hashtbl.replace t.dedup key (Done payload);
           Sim.fill running payload;
-          if t.alive then reply payload)
+          reply payload)
 
 let on_packet t (pkt : Treaty_netsim.Packet.t) =
   (* Runs as a network-delivery event; spawn a fiber so handlers can block. *)
@@ -158,6 +198,7 @@ let create sim ~net ~enclave ~pool ~config ~node_id ?net_config () =
       pending = Hashtbl.create 64;
       dedup = Hashtbl.create 256;
       dedup_by_tx = Hashtbl.create 64;
+      dedup_expiry = Queue.create ();
       next_req_id = 0;
       epoch = (incr next_epoch; !next_epoch);
       next_tx_seq = 0;
@@ -216,13 +257,6 @@ let call t ~dst ~kind ?coord ?tx_seq ?op_id ?timeout_ns payload =
       Hashtbl.remove t.pending req_id;
       t.stats.timeouts <- t.stats.timeouts + 1;
       Error `Timeout
-
-let forget_tx t ~coord ~tx_seq =
-  match Hashtbl.find_opt t.dedup_by_tx (coord, tx_seq) with
-  | None -> ()
-  | Some ops ->
-      List.iter (fun op -> Hashtbl.remove t.dedup (coord, tx_seq, op)) !ops;
-      Hashtbl.remove t.dedup_by_tx (coord, tx_seq)
 
 let shutdown t =
   t.alive <- false;

@@ -26,6 +26,11 @@ type config = {
           a world switch per burst (Treaty replaces rdtsc with a monotonic
           counter). *)
   timeout_ns : int;  (** Default request timeout. *)
+  dedup_ttl_ns : int;
+      (** Lifetime of at-most-once cache entries whose identity is
+          non-transactional (fresh per call, never replayed beyond the
+          network's duplication window): without an owning transaction no
+          commit/abort ever forgets them, so they are reclaimed by age. *)
 }
 
 val default_config : security:Secure_msg.security -> config
@@ -80,6 +85,16 @@ val call :
 
 val forget_tx : t -> coord:int -> tx_seq:int -> unit
 (** Drop the at-most-once response cache for a finished transaction. *)
+
+val expire_dedup : t -> unit
+(** Reclaim non-transactional at-most-once entries older than
+    [dedup_ttl_ns]. Runs automatically on request arrival; background
+    sweepers call it so quiet endpoints drain too. *)
+
+val dedup_size : t -> int
+(** Entries currently held in the at-most-once response cache. After all
+    transactions finish, duplicates age out and sweeps run, this returns to
+    zero — the leak-freedom invariant the chaos harness checks. *)
 
 val shutdown : t -> unit
 (** Crash/stop: unregister from the network and stop serving. *)

@@ -799,6 +799,16 @@ let recover ssd sec cfg stability ~trusted =
               match !wal_error with
               | Some m -> fail "WAL: %s" m
               | None -> (
+                  (* Version seqs allocated just before the crash may sit in
+                     the WAL's unstable tail and not replay, yet they were
+                     already visible to readers (Treaty acks a distributed
+                     commit without waiting for the local Resolve entry to
+                     stabilize — the stable Clog decision re-drives it).
+                     Jump the allocator past that lost suffix so a
+                     re-resolved prepare never reuses a seq an earlier
+                     reader observed; same gap idiom as the coordinator's
+                     tx-seq recovery. *)
+                  t.last_alloc_seq <- t.last_alloc_seq + 1_000_000;
                   t.visible_seq <- t.last_alloc_seq;
                   (* Replay the Clog (coordinator 2PC state). *)
                   match replay_log t.clog with

@@ -1,0 +1,92 @@
+(* The fault-injection harness itself: determinism of the schedule
+   generator, same-seed reproducibility of whole runs, a fault-free
+   leak-freedom baseline for the quiescence checker, and the 50-seed
+   invariant sweep — the tier-1 gate for crash/partition/replay handling. *)
+
+open Treaty_core
+module Sim = Treaty_sim.Sim
+module Chaos = Treaty_chaos.Chaos
+module Schedule = Treaty_chaos.Schedule
+
+let schedule_deterministic () =
+  let gen seed = Schedule.generate ~seed ~nodes:3 ~horizon_ns:600_000_000 in
+  Alcotest.(check string) "same seed, same schedule"
+    (Schedule.to_string (gen 11))
+    (Schedule.to_string (gen 11));
+  Alcotest.(check bool) "different seed, different schedule" true
+    (Schedule.to_string (gen 11) <> Schedule.to_string (gen 12))
+
+let run_reproducible () =
+  (* A full run — workload, faults, recovery — replayed from the same seed
+     must produce the identical schedule and outcome counts. This is what
+     makes a FAIL line from the sweep a usable bug report. *)
+  let run () =
+    match Chaos.run_seed ~seed:7 () with
+    | Ok r ->
+        ( Schedule.to_string r.Chaos.schedule,
+          (r.Chaos.committed, r.Chaos.aborted, r.Chaos.history_txs) )
+    | Error m -> Alcotest.failf "seed 7: %s" m
+  in
+  let sched_a, counts_a = run () in
+  let sched_b, counts_b = run () in
+  Alcotest.(check string) "same fault schedule" sched_a sched_b;
+  Alcotest.(check (triple int int int)) "same outcome counts" counts_a counts_b
+
+let quiescent_baseline () =
+  (* Leak-freedom without any faults: after a quiet period covering the
+     dedup TTL and a couple of sweeps, no node may retain at-most-once
+     cache entries, locks or transaction contexts. Establishes that a
+     chaos-run quiescence failure really is fault-handling residue. *)
+  let sim = Sim.create () in
+  Sim.run sim (fun () ->
+      let cfg =
+        {
+          (Config.with_profile Config.default Config.treaty_enc_stab) with
+          Config.dedup_ttl_ns = 200_000_000;
+          sweep_interval_ns = 100_000_000;
+        }
+      in
+      match Cluster.create sim cfg () with
+      | Error m -> Alcotest.failf "bootstrap: %s" m
+      | Ok cluster ->
+          let c = Client.connect_exn cluster ~client_id:1 in
+          for i = 1 to 6 do
+            match
+              Client.with_txn c ~coord:((i mod 3) + 1) (fun txn ->
+                  match Client.put c txn (Printf.sprintf "base:k%d" i) "v" with
+                  | Ok () -> Client.put c txn (Printf.sprintf "base:j%d" i) "w"
+                  | Error e -> Error e)
+            with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "txn %d: %s" i (Types.abort_reason_to_string e)
+          done;
+          Client.disconnect c;
+          Sim.sleep sim 1_000_000_000;
+          (match Cluster.check_quiescent cluster with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "residual state after quiet period: %s" m);
+          Cluster.shutdown cluster)
+
+let sweep_50_seeds () =
+  let failures = ref [] in
+  for seed = 1 to 50 do
+    match Chaos.run_seed ~seed () with
+    | Ok _ -> ()
+    | Error m -> failures := (seed, m) :: !failures
+  done;
+  match List.rev !failures with
+  | [] -> ()
+  | (seed, m) :: _ as fs ->
+      Alcotest.failf "%d/50 seeds failed; first: seed %d: %s" (List.length fs)
+        seed m
+
+let suite =
+  [
+    Alcotest.test_case "schedule generation is deterministic" `Quick
+      schedule_deterministic;
+    Alcotest.test_case "same seed reproduces the run" `Quick run_reproducible;
+    Alcotest.test_case "fault-free runs drain to zero residual state" `Quick
+      quiescent_baseline;
+    Alcotest.test_case "50-seed fault sweep holds all invariants" `Slow
+      sweep_50_seeds;
+  ]

@@ -8,6 +8,9 @@
 open Treaty_core
 module Sim = Treaty_sim.Sim
 module Engine = Treaty_storage.Engine
+module Net = Treaty_netsim.Net
+module Adversary = Treaty_netsim.Adversary
+module Secure_msg = Treaty_rpc.Secure_msg
 
 let mk_config profile =
   {
@@ -100,6 +103,72 @@ let distributed_ack_durable_on_participant_crash () =
           Client.disconnect c;
           Cluster.shutdown cluster)
 
+let coordinator_crash_between_decision_and_fanout () =
+  (* The narrowest 2PC window: the commit decision is stabilized in the
+     Clog but the k_commit fan-out never reaches the participants, and the
+     coordinator then dies. The in-doubt participants must learn the
+     outcome through the Clog-backed decision query against the restarted
+     coordinator — and the acked writes must survive on every shard. *)
+  let sim = Sim.create () in
+  Sim.run sim (fun () ->
+      (* Stabilization on, encryption off, so the adversary can classify
+         packets by their (plaintext) RPC kind. *)
+      let profile = { Config.treaty_no_enc with Config.stabilization = true } in
+      let cfg =
+        {
+          (mk_config profile) with
+          Config.rpc_timeout_ns = 60_000_000;
+          sweep_interval_ns = 50_000_000;
+          part_prepared_resolve_ns = 150_000_000;
+        }
+      in
+      match Cluster.create sim cfg ~route:explicit_route () with
+      | Error m -> Alcotest.failf "bootstrap: %s" m
+      | Ok cluster ->
+          let net = Cluster.net cluster in
+          let k_commit = 3 (* node.ml's commit fan-out RPC kind *) in
+          Net.set_adversary net
+            (Adversary.drop_matching (fun pkt ->
+                 pkt.Treaty_netsim.Packet.src = 1
+                 && pkt.Treaty_netsim.Packet.dst < 1000
+                 && pkt.Treaty_netsim.Packet.dst <> Cluster.cas_id
+                 &&
+                 match Secure_msg.decode Secure_msg.Plain pkt.payload with
+                 | Ok (m, _) -> (not m.Secure_msg.is_response) && m.kind = k_commit
+                 | Error _ -> false));
+          let c = Client.connect_exn cluster ~client_id:1 in
+          (* The ack arrives only after the fan-out attempt times out — the
+             decision itself was stabilized before it. *)
+          (match
+             Client.with_txn c ~coord:1 (fun txn ->
+                 match Client.put c txn "node1:dw" "local" with
+                 | Ok () -> Client.put c txn "node3:dw" "remote"
+                 | Error e -> Error e)
+           with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "commit: %s" (Types.abort_reason_to_string e));
+          Cluster.crash_node cluster 0;
+          (match Cluster.restart_node cluster 0 with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "restart: %s" m);
+          (* The adversary stays installed: only the participant-initiated
+             k_query_decision path can resolve the in-doubt tx. *)
+          Sim.sleep sim 1_000_000_000;
+          (match
+             Client.with_txn c ~coord:2 (fun txn ->
+                 match (Client.get c txn "node1:dw", Client.get c txn "node3:dw") with
+                 | Ok (Some "local"), Ok (Some "remote") -> Ok ()
+                 | _ -> Error Types.Integrity)
+           with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.failf "acked write lost in the decision/fan-out window: %s"
+                (Types.abort_reason_to_string e));
+          Alcotest.(check bool) "participants resolved via decision query" true
+            ((Node.stats (Cluster.node cluster 0)).Node.decisions_queried > 0);
+          Client.disconnect c;
+          Cluster.shutdown cluster)
+
 let no_stab_profile_vulnerable_to_rollback () =
   (* The contrapositive: without stabilization, a disk rollback after a
      crash is NOT detected — this is precisely the attack surface the
@@ -186,6 +255,8 @@ let suite =
       ack_implies_durable_under_immediate_crash;
     Alcotest.test_case "distributed ack durable on participant crash" `Quick
       distributed_ack_durable_on_participant_crash;
+    Alcotest.test_case "coordinator crash between decision and fan-out" `Quick
+      coordinator_crash_between_decision_and_fanout;
     Alcotest.test_case "w/o Stab: rollback goes undetected (by design)" `Quick
       no_stab_profile_vulnerable_to_rollback;
     Alcotest.test_case "stabilization batches counter rounds" `Slow

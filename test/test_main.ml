@@ -12,5 +12,6 @@ let () =
       ("cas", Test_cas.suite);
       ("core", Test_core.suite);
       ("durability", Test_durability.suite);
+      ("chaos", Test_chaos.suite);
       ("workload", Test_workload.suite);
     ]

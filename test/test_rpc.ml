@@ -196,6 +196,27 @@ let rpc_plain_mode_vulnerable () =
       | Ok reply -> Alcotest.(check bool) "silently corrupted" true (reply <> "AAAA")
       | Error _ -> Alcotest.fail "plain call failed")
 
+let rpc_dedup_freed_when_handler_forgets_tx () =
+  (* Regression: commit/abort handlers tear down their transaction's
+     at-most-once state from inside the handler (finish_participant calls
+     forget_tx before the reply goes out). The dispatcher used to re-insert
+     the Done entry afterwards unconditionally, orphaning it — present in
+     the dedup table but absent from the per-tx index, unreachable by any
+     later forget_tx. One cache entry leaked per finished transaction. *)
+  let key = Aead.key_of_string "net" in
+  with_pair ~security:(Secure_msg.Secure key) (fun _sim _net a b ->
+      Erpc.register b ~kind:3 (fun meta _ ->
+          Erpc.forget_tx b ~coord:meta.Secure_msg.coord ~tx_seq:meta.tx_seq;
+          "committed");
+      (match Erpc.call a ~dst:2 ~kind:3 ~coord:1 ~tx_seq:5 ~op_id:1 "" with
+      | Ok "committed" -> ()
+      | Ok r -> Alcotest.failf "unexpected reply %S" r
+      | Error _ -> Alcotest.fail "call failed");
+      Alcotest.(check int) "no orphaned dedup entry" 0 (Erpc.dedup_size b);
+      (* A redundant forget after the fact must stay a no-op. *)
+      Erpc.forget_tx b ~coord:1 ~tx_seq:5;
+      Alcotest.(check int) "still clean" 0 (Erpc.dedup_size b))
+
 let rpc_handler_can_block () =
   let key = Aead.key_of_string "net" in
   with_pair ~security:(Secure_msg.Secure key) (fun sim _net a b ->
@@ -226,5 +247,7 @@ let suite =
     Alcotest.test_case "duplicate not re-executed" `Quick rpc_duplicate_not_reexecuted;
     Alcotest.test_case "replay attack suppressed" `Quick rpc_replay_attack_suppressed;
     Alcotest.test_case "plain mode is vulnerable (baseline)" `Quick rpc_plain_mode_vulnerable;
+    Alcotest.test_case "handler-forgotten tx leaves no dedup entry" `Quick
+      rpc_dedup_freed_when_handler_forgets_tx;
     Alcotest.test_case "handlers run on fibers" `Quick rpc_handler_can_block;
   ]
