@@ -12,11 +12,113 @@ module Enclave = Treaty_tee.Enclave
 
 let profiles =
   [
-    ("Native 2PC", { Config.tee = Enclave.Native; encryption = false; authentication = false; stabilization = false });
-    ("Native w/ Enc", { Config.tee = Enclave.Native; encryption = true; authentication = false; stabilization = false });
-    ("Secure w/o Enc", { Config.tee = Enclave.Scone; encryption = false; authentication = false; stabilization = false });
-    ("Secure w/ Enc", { Config.tee = Enclave.Scone; encryption = true; authentication = false; stabilization = false });
+    ("Native 2PC", { Config.tee = Enclave.Native; encryption = false; authentication = false; stabilization = false; batching = true });
+    ("Native w/ Enc", { Config.tee = Enclave.Native; encryption = true; authentication = false; stabilization = false; batching = true });
+    ("Secure w/o Enc", { Config.tee = Enclave.Scone; encryption = false; authentication = false; stabilization = false; batching = true });
+    ("Secure w/ Enc", { Config.tee = Enclave.Scone; encryption = true; authentication = false; stabilization = false; batching = true });
   ]
+
+(* Commit pipeline: full-stack treaty-enc-stab with the batching knob on and
+   off. The interesting number is ROTE stabilization rounds per committed
+   transaction: unbatched, every distributed commit pays at least two (Begin
+   + Decision); the epoch pump plus Clog group commit amortize rounds across
+   concurrent transactions, so with enough offered load the ratio drops
+   below one. *)
+
+type pipeline_row = {
+  tps : float;
+  committed : int;
+  increments : int;
+  rounds_per_txn : float;
+  clog_items_per_batch : float;
+  wal_items_per_batch : float;
+  msgs_per_packet : float;
+}
+
+let pipeline_run profile ~ycsb ~clients =
+  let row = ref None in
+  Common.run_sim (fun sim ->
+      let config = Common.base_config profile in
+      let cluster = Common.make_cluster sim config () in
+      Common.load_ycsb cluster ycsb;
+      let p0 = Cluster.pipeline_stats cluster in
+      let c0 = Cluster.total_committed cluster in
+      let r =
+        W.Driver.run_clients cluster ~clients
+          ~duration_ns:(Common.duration_ns ()) ~warmup_ns:(Common.warmup_ns ())
+          ~txn:(Common.ycsb_txn ycsb) ()
+      in
+      let p1 = Cluster.pipeline_stats cluster in
+      let committed = Cluster.total_committed cluster - c0 in
+      let increments = p1.Cluster.rote_increments - p0.Cluster.rote_increments in
+      let ratio num den = if den = 0 then 0. else float_of_int num /. float_of_int den in
+      row :=
+        Some
+          {
+            tps = W.Driver.tps r;
+            committed;
+            increments;
+            rounds_per_txn = ratio increments committed;
+            clog_items_per_batch =
+              ratio
+                (p1.Cluster.clog_items - p0.Cluster.clog_items)
+                (p1.Cluster.clog_batches - p0.Cluster.clog_batches);
+            wal_items_per_batch =
+              ratio
+                (p1.Cluster.wal_items - p0.Cluster.wal_items)
+                (p1.Cluster.wal_batches - p0.Cluster.wal_batches);
+            msgs_per_packet =
+              ratio
+                (p1.Cluster.burst_msgs - p0.Cluster.burst_msgs)
+                (p1.Cluster.bursts_sent - p0.Cluster.bursts_sent);
+          };
+      Cluster.shutdown cluster);
+  Option.get !row
+
+let json_row b name (r : pipeline_row) =
+  Printf.bprintf b
+    "    { \"name\": %S, \"tps\": %.1f, \"committed\": %d, \
+     \"rote_increments\": %d, \"rounds_per_txn\": %.4f, \
+     \"clog_items_per_batch\": %.2f, \"wal_items_per_batch\": %.2f, \
+     \"msgs_per_packet\": %.2f }"
+    name r.tps r.committed r.increments r.rounds_per_txn r.clog_items_per_batch
+    r.wal_items_per_batch r.msgs_per_packet
+
+let write_pipeline_json ~clients batched unbatched =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "{\n  \"bench\": \"commit_pipeline\",\n  \"mode\": %S,\n"
+    (if !Common.full_mode then "full" else "quick");
+  Printf.bprintf b "  \"clients\": %d,\n  \"configs\": [\n" clients;
+  json_row b "batched" batched;
+  Buffer.add_string b ",\n";
+  json_row b "unbatched" unbatched;
+  Buffer.add_string b "\n  ]\n}\n";
+  let oc = open_out "BENCH_commit_pipeline.json" in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+let pipeline_print label (r : pipeline_row) =
+  Printf.printf
+    "  %-12s %10.1f tps   %6.3f rounds/txn   clog %5.2f/batch   wal \
+     %5.2f/batch   %5.2f msgs/pkt\n%!"
+    label r.tps r.rounds_per_txn r.clog_items_per_batch r.wal_items_per_batch
+    r.msgs_per_packet
+
+let run_pipeline () =
+  Common.subsection "commit pipeline: batched vs unbatched (treaty-enc-stab)";
+  let ycsb = { W.Ycsb.default with W.Ycsb.read_fraction = 0.5 } in
+  let clients = if !Common.full_mode then 64 else 16 in
+  Printf.printf "  YCSB 50R/50W, %d clients, 3 nodes, stabilization on\n%!"
+    clients;
+  let batched = pipeline_run Config.treaty_enc_stab ~ycsb ~clients in
+  let unbatched =
+    pipeline_run { Config.treaty_enc_stab with Config.batching = false } ~ycsb
+      ~clients
+  in
+  pipeline_print "batched" batched;
+  pipeline_print "unbatched" unbatched;
+  write_pipeline_json ~clients batched unbatched;
+  Printf.printf "  wrote BENCH_commit_pipeline.json\n%!"
 
 let run () =
   Common.section "Figure 4: 2PC protocol in isolation (no storage)";
@@ -51,4 +153,5 @@ let run () =
         ~mean_ms:(W.Driver.mean_ms r) ~p99:(W.Driver.p99_ms r))
     results;
   Common.expected
-    "Native w/ Enc ~1.0-1.1x, Secure w/o Enc ~1.8x, Secure w/ Enc ~2.0x"
+    "Native w/ Enc ~1.0-1.1x, Secure w/o Enc ~1.8x, Secure w/ Enc ~2.0x";
+  run_pipeline ()

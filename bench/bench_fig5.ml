@@ -15,6 +15,8 @@ let systems =
     ("Treaty w/o Enc", Config.treaty_no_enc);
     ("Treaty w/ Enc", Config.treaty_enc);
     ("Treaty w/ Enc w/ Stab", Config.treaty_enc_stab);
+    ( "Treaty w/ Stab unbatched",
+      { Config.treaty_enc_stab with Config.batching = false } );
   ]
 
 let run_mix ~label ~read_fraction =

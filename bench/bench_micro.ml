@@ -38,6 +38,13 @@ let prefilled_skiplist =
   done;
   sl
 
+let clog_batch =
+  Treaty_storage.Clog_record.Batch
+    (List.init 16 (fun i ->
+         Treaty_storage.Clog_record.Decision { tx_seq = i; commit = i mod 2 = 0 }))
+
+let clog_batch_wire = Treaty_storage.Clog_record.encode clog_batch
+
 let tests =
   Test.make_grouped ~name:"micro"
     [
@@ -59,7 +66,63 @@ let tests =
       Test.make ~name:"skiplist-find-10k"
         (Staged.stage (fun () ->
              Treaty_storage.Skiplist.find prefilled_skiplist ~key:"k004242" ~max_seq:max_int));
+      Test.make ~name:"clog-batch16-encode"
+        (Staged.stage (fun () -> Treaty_storage.Clog_record.encode clog_batch));
+      Test.make ~name:"clog-batch16-decode"
+        (Staged.stage (fun () -> Treaty_storage.Clog_record.decode clog_batch_wire));
     ]
+
+(* Rounds per transaction: the number the commit pipeline exists to shrink.
+   N concurrent "transactions" each stabilize a Clog decision and a WAL
+   entry; the epoch pump coalesces the pending targets of every log into one
+   ROTE round, so rounds/txn collapses with concurrency. [batch_logs:false]
+   reproduces the old one-round-per-log behaviour for comparison. *)
+let rounds_per_txn ~batch_logs =
+  let module Sim = Treaty_sim.Sim in
+  let sim = Sim.create ~seed:0xF00DF00DL () in
+  let result = ref 0. in
+  Sim.run sim (fun () ->
+      let cost = Treaty_sim.Costmodel.default in
+      let net = Treaty_netsim.Net.create sim cost in
+      let mk id =
+        let e =
+          Treaty_tee.Enclave.create sim ~mode:Treaty_tee.Enclave.Scone ~cost
+            ~cores:8 ~node_id:id ~code_identity:"r"
+        in
+        let pool = Treaty_memalloc.Mempool.create e in
+        Treaty_rpc.Erpc.create sim ~net ~enclave:e ~pool
+          ~config:(Treaty_rpc.Erpc.default_config ~security:Treaty_rpc.Secure_msg.Plain)
+          ~node_id:id ()
+      in
+      let r1 = Treaty_counter.Rote.create_replica (mk 1) ~group:[ 1; 2; 3 ] () in
+      let _r2 = Treaty_counter.Rote.create_replica (mk 2) ~group:[ 1; 2; 3 ] () in
+      let _r3 = Treaty_counter.Rote.create_replica (mk 3) ~group:[ 1; 2; 3 ] () in
+      let cc = Treaty_counter.Counter_client.create ~batch_logs r1 ~owner:1 in
+      let txns = 64 in
+      let clog = ref 0 and wal = ref 0 in
+      let latch = Sim.ivar () in
+      let pending = ref txns in
+      for i = 0 to txns - 1 do
+        Sim.spawn sim (fun () ->
+            Sim.sleep sim (i * 50_000);
+            incr clog;
+            let c = !clog in
+            Treaty_counter.Counter_client.submit cc ~log:"clog" ~counter:c;
+            (match Treaty_counter.Counter_client.wait_stable cc ~log:"clog" ~counter:c with
+            | Ok () -> ()
+            | Error `Stability_timeout -> failwith "micro: no quorum");
+            incr wal;
+            let w = !wal in
+            (match Treaty_counter.Counter_client.wait_stable cc ~log:"wal" ~counter:w with
+            | Ok () -> ()
+            | Error `Stability_timeout -> failwith "micro: no quorum");
+            decr pending;
+            if !pending = 0 then Sim.fill latch ())
+      done;
+      Sim.read sim latch;
+      let s = Treaty_counter.Counter_client.stats cc in
+      result := float_of_int s.rounds_started /. float_of_int txns);
+  !result
 
 let run () =
   Common.section "Micro-benchmarks (Bechamel, wall-clock)";
@@ -79,4 +142,8 @@ let run () =
             | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/op\n" name est
             | _ -> ())
           tbl)
-    results
+    results;
+  Printf.printf
+    "  stabilization rounds/txn (64 concurrent txns, clog+wal): epoch-batched %.3f, per-log %.3f\n%!"
+    (rounds_per_txn ~batch_logs:true)
+    (rounds_per_txn ~batch_logs:false)

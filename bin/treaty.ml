@@ -34,7 +34,11 @@ let bootstrap sim config ?route () =
 
 (* --- run ---------------------------------------------------------------- *)
 
-let run_cmd profile nodes workload clients duration_ms warehouses read_pct =
+let run_cmd profile no_batching nodes workload clients duration_ms warehouses
+    read_pct =
+  let profile =
+    if no_batching then { profile with Config.batching = false } else profile
+  in
   let sim = Sim.create () in
   Sim.run sim (fun () ->
       let config = mk_config profile nodes in
@@ -83,6 +87,8 @@ let run_cmd profile nodes workload clients duration_ms warehouses read_pct =
               ()
           in
           Printf.printf "%s\n" (W.Stats.summary r.W.Driver.stats ~duration_ns:r.W.Driver.duration_ns);
+          Printf.printf "pipeline: %s\n"
+            (Cluster.pipeline_stats_to_string (Cluster.pipeline_stats cluster));
           Cluster.shutdown cluster
       | "tpcc" ->
           let tpcc = W.Tpcc.config ~warehouses () in
@@ -100,6 +106,8 @@ let run_cmd profile nodes workload clients duration_ms warehouses read_pct =
               ()
           in
           Printf.printf "%s\n" (W.Stats.summary r.W.Driver.stats ~duration_ns:r.W.Driver.duration_ns);
+          Printf.printf "pipeline: %s\n"
+            (Cluster.pipeline_stats_to_string (Cluster.pipeline_stats cluster));
           Cluster.shutdown cluster
       | other ->
           Printf.eprintf "unknown workload %S (ycsb | tpcc)\n" other;
@@ -193,13 +201,14 @@ let recover_cmd profile crash_after =
 
 (* --- chaos --------------------------------------------------------------- *)
 
-let chaos_cmd seeds first_seed nodes clients horizon_ms =
+let chaos_cmd seeds first_seed nodes clients horizon_ms no_batching =
   let cfg =
     {
       Treaty_chaos.Chaos.default_config with
       Treaty_chaos.Chaos.nodes;
       clients;
       horizon_ns = horizon_ms * 1_000_000;
+      batching = not no_batching;
     }
   in
   let failures = ref 0 in
@@ -235,10 +244,16 @@ let seeds_arg = Arg.(value & opt int 50 & info [ "seeds" ] ~doc:"How many fault 
 let first_seed_arg = Arg.(value & opt int 1 & info [ "first-seed" ] ~doc:"First seed of the sweep.")
 let chaos_clients_arg = Arg.(value & opt int 3 & info [ "clients" ] ~doc:"Workload clients per run.")
 let horizon_arg = Arg.(value & opt int 600 & info [ "horizon-ms" ] ~doc:"Fault window length (simulated ms).")
+let no_batching_arg =
+  Arg.(value & flag
+       & info [ "no-batching" ]
+           ~doc:"Disable commit-pipeline batching (epoch stabilization, Clog \
+                 group commit, RPC burst coalescing).")
 
 let run_term =
-  Term.(const run_cmd $ profile_arg $ nodes_arg $ workload_arg $ clients_arg
-        $ duration_arg $ warehouses_arg $ read_pct_arg)
+  Term.(const run_cmd $ profile_arg $ no_batching_arg $ nodes_arg
+        $ workload_arg $ clients_arg $ duration_arg $ warehouses_arg
+        $ read_pct_arg)
 
 let cmds =
   [
@@ -254,7 +269,7 @@ let cmds =
             delay/duplication) and check serializability, durability, \
             atomicity and leak-freedom after each.")
       Term.(const chaos_cmd $ seeds_arg $ first_seed_arg $ nodes_arg
-            $ chaos_clients_arg $ horizon_arg);
+            $ chaos_clients_arg $ horizon_arg $ no_batching_arg);
   ]
 
 let () =

@@ -13,6 +13,7 @@ type config = {
   initial_balance : int;
   keys_per_client : int;
   drain_ns : int;
+  batching : bool;
 }
 
 let ms n = n * 1_000_000
@@ -26,6 +27,7 @@ let default_config =
     initial_balance = 100;
     keys_per_client = 2;
     drain_ns = ms 1_500;
+    batching = true;
   }
 
 type report = {
@@ -44,8 +46,9 @@ let pp_report fmt r =
    and a decision-query timeout above the largest delay spike a schedule can
    inject (otherwise prepared participants could never hear a decision). *)
 let cluster_config cfg ~seed =
+  let profile = { Config.treaty_enc_stab with batching = cfg.batching } in
   {
-    (Config.with_profile Config.default Config.treaty_enc_stab) with
+    (Config.with_profile Config.default profile) with
     Config.nodes = cfg.nodes;
     record_history = true;
     decision_query_timeout_ns = ms 60;

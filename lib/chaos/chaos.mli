@@ -23,6 +23,10 @@ type config = {
   initial_balance : int;
   keys_per_client : int;  (** Private keys per client for the kv workload. *)
   drain_ns : int;  (** Post-schedule settle time before invariant checks. *)
+  batching : bool;
+      (** Run with the commit-pipeline batching profile knob; [false]
+          exercises the unbatched (one round per log, one packet per
+          message) path under the same fault schedules. *)
 }
 
 val default_config : config

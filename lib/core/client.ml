@@ -198,6 +198,7 @@ let commit t txn =
           | 0 -> Error Types.Lock_timeout
           | 1 -> Error Types.Validation_failed
           | 2 -> Error Types.Participant_failed
+          | 4 -> Error Types.Stabilization_unavailable
           | _ | (exception Wire.Malformed _) -> Error Types.Participant_failed)
       | 2 -> Error Types.Rolled_back
       | _ -> Error Types.Unauthenticated)

@@ -63,6 +63,107 @@ let total_aborted t =
       match slot with Live n -> acc + (Node.stats n).aborted | Crashed _ -> acc)
     0 t.nodes
 
+type pipeline_stats = {
+  wal_batches : int;
+  wal_items : int;
+  clog_batches : int;
+  clog_items : int;
+  rote_rounds : int;
+  rote_increments : int;
+  rote_targets : int;
+  cc_submits : int;
+  cc_rounds : int;
+  cc_failed_waits : int;
+  bursts_sent : int;
+  burst_msgs : int;
+}
+
+let pipeline_stats t =
+  let z =
+    {
+      wal_batches = 0;
+      wal_items = 0;
+      clog_batches = 0;
+      clog_items = 0;
+      rote_rounds = 0;
+      rote_increments = 0;
+      rote_targets = 0;
+      cc_submits = 0;
+      cc_rounds = 0;
+      cc_failed_waits = 0;
+      bursts_sent = 0;
+      burst_msgs = 0;
+    }
+  in
+  Array.fold_left
+    (fun acc slot ->
+      match slot with
+      | Crashed _ -> acc
+      | Live n ->
+          let module GC = Treaty_storage.Group_commit in
+          let engine = Node.engine n in
+          let gc_add (b, i) = function
+            | None -> (b, i)
+            | Some (s : GC.stats) -> (b + s.batches, i + s.items)
+          in
+          let wal_batches, wal_items =
+            gc_add (acc.wal_batches, acc.wal_items)
+              (Treaty_storage.Engine.wal_group_stats engine)
+          in
+          let clog_batches, clog_items =
+            gc_add (acc.clog_batches, acc.clog_items)
+              (Treaty_storage.Engine.clog_group_stats engine)
+          in
+          let rs = Treaty_counter.Rote.stats (Node.rote n) in
+          let acc =
+            {
+              acc with
+              wal_batches;
+              wal_items;
+              clog_batches;
+              clog_items;
+              rote_rounds = acc.rote_rounds + rs.rounds;
+              rote_increments = acc.rote_increments + rs.increments;
+              rote_targets = acc.rote_targets + rs.targets;
+            }
+          in
+          let acc =
+            match Node.counter_client n with
+            | None -> acc
+            | Some cc ->
+                let cs = Treaty_counter.Counter_client.stats cc in
+                {
+                  acc with
+                  cc_submits = acc.cc_submits + cs.submits;
+                  cc_rounds = acc.cc_rounds + cs.rounds_started;
+                  cc_failed_waits = acc.cc_failed_waits + cs.failed_waits;
+                }
+          in
+          let es = Erpc.stats (Node.rpc n) in
+          {
+            acc with
+            bursts_sent = acc.bursts_sent + es.bursts_sent;
+            burst_msgs = acc.burst_msgs + es.burst_msgs;
+          })
+    z t.nodes
+
+let pipeline_stats_to_string p =
+  let ratio num den = if den = 0 then 0. else float_of_int num /. float_of_int den in
+  Printf.sprintf
+    "wal %d/%d (%.2f/batch) clog %d/%d (%.2f/batch) rote rounds=%d incs=%d \
+     targets=%d (%.2f logs/round-pair) counter submits=%d rounds=%d \
+     (%.2f/round) failed=%d bursts %d/%d (%.2f msgs/pkt)"
+    p.wal_items p.wal_batches
+    (ratio p.wal_items p.wal_batches)
+    p.clog_items p.clog_batches
+    (ratio p.clog_items p.clog_batches)
+    p.rote_rounds p.rote_increments p.rote_targets
+    (ratio p.rote_targets p.rote_increments)
+    p.cc_submits p.cc_rounds
+    (ratio p.cc_submits p.cc_rounds)
+    p.cc_failed_waits p.burst_msgs p.bursts_sent
+    (ratio p.burst_msgs p.bursts_sent)
+
 (* A minimal plain endpoint used only during attestation, before the node
    has any cluster secrets. Its network registration is replaced when the
    real node endpoint comes up. *)

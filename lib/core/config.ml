@@ -5,24 +5,44 @@ type security_profile = {
   encryption : bool;
   authentication : bool;
   stabilization : bool;
+  batching : bool;
 }
 
 let ds_rocksdb =
-  { tee = Enclave.Native; encryption = false; authentication = false; stabilization = false }
+  {
+    tee = Enclave.Native;
+    encryption = false;
+    authentication = false;
+    stabilization = false;
+    batching = true;
+  }
 
 let native_treaty =
-  { tee = Enclave.Native; encryption = false; authentication = true; stabilization = false }
+  {
+    tee = Enclave.Native;
+    encryption = false;
+    authentication = true;
+    stabilization = false;
+    batching = true;
+  }
 
 let native_treaty_enc = { native_treaty with encryption = true }
 
 let treaty_no_enc =
-  { tee = Enclave.Scone; encryption = false; authentication = true; stabilization = false }
+  {
+    tee = Enclave.Scone;
+    encryption = false;
+    authentication = true;
+    stabilization = false;
+    batching = true;
+  }
 
 let treaty_enc = { treaty_no_enc with encryption = true }
 let treaty_enc_stab = { treaty_enc with stabilization = true }
 
 let profile_name p =
-  match (p.tee, p.encryption, p.authentication, p.stabilization) with
+  let unbatched = if p.batching then "" else " unbatched" in
+  (match (p.tee, p.encryption, p.authentication, p.stabilization) with
   | Enclave.Native, false, false, false -> "DS-RocksDB"
   | Enclave.Native, false, true, false -> "Native Treaty"
   | Enclave.Native, true, true, false -> "Native Treaty w/ Enc"
@@ -30,7 +50,8 @@ let profile_name p =
   | Enclave.Scone, true, true, false -> "Treaty w/ Enc"
   | Enclave.Scone, true, true, true -> "Treaty w/ Enc w/ Stab"
   | Enclave.Native, _, _, _ -> "custom (native)"
-  | Enclave.Scone, _, _, _ -> "custom (scone)"
+  | Enclave.Scone, _, _, _ -> "custom (scone)")
+  ^ unbatched
 
 type t = {
   profile : security_profile;
@@ -53,6 +74,7 @@ type t = {
   part_stale_abort_ns : int;
   coord_tx_abandon_ns : int;
   dedup_ttl_ns : int;
+  burst_window_ns : int;
   record_history : bool;
   naive_rpc_port : bool;
   seed : int64;
@@ -80,6 +102,7 @@ let default =
     part_stale_abort_ns = 1_000_000_000;
     coord_tx_abandon_ns = 3_000_000_000;
     dedup_ttl_ns = 2_000_000_000;
+    burst_window_ns = 2_000;
     record_history = false;
     naive_rpc_port = false;
     seed = 0xC0FFEEL;
@@ -93,5 +116,6 @@ let with_profile t profile =
       {
         t.engine with
         Treaty_storage.Engine.wait_commit_stable = profile.stabilization;
+        clog_group_commit = profile.batching;
       };
   }

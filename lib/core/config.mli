@@ -10,6 +10,12 @@ type security_profile = {
   encryption : bool;
   authentication : bool;
   stabilization : bool;
+  batching : bool;
+      (** Commit-pipeline batching (the ablation knob, on in every named
+          profile): cross-log epoch stabilization rounds, Clog group commit
+          and RPC burst coalescing. [false] reproduces the pre-pipeline
+          behaviour — one counter round per log, one Clog append and one
+          packet per record/message. *)
 }
 
 val ds_rocksdb : security_profile
@@ -62,6 +68,10 @@ type t = {
   dedup_ttl_ns : int;
       (** TTL for non-transactional at-most-once cache entries (see
           {!Treaty_rpc.Erpc.config}). *)
+  burst_window_ns : int;
+      (** Doorbell window for RPC burst coalescing on node endpoints
+          (applied when the profile has [batching]; clients stay
+          unbatched). *)
   record_history : bool;  (** Feed the serializability checker. *)
   naive_rpc_port : bool;
       (** Ablation: the unmodified eRPC-in-SCONE port — message buffers in

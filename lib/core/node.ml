@@ -297,19 +297,27 @@ let handle_prepare t (meta : Secure_msg.meta) _payload =
   | Some (ctx, _) -> (
       match Local_txn.prepare ctx with
       | Error (`Conflict | `Timeout) -> status_reply 1
-      | Ok () ->
+      | Ok () -> (
           let writes = Local_txn.writes ctx in
-          if writes <> [] then
-            Engine.prepare t.engine ~tx:(meta.coord, meta.tx_seq) ~writes;
-          (* ACK carries the read versions for the coordinator's history. *)
-          let b = Buffer.create 64 in
-          Wire.w8 b 0;
-          Wire.wlist b
-            (fun b (k, s) ->
-              Wire.wstr b k;
-              Wire.w64 b s)
-            (Local_txn.read_set ctx);
-          Buffer.contents b)
+          match
+            if writes <> [] then
+              Engine.prepare t.engine ~tx:(meta.coord, meta.tx_seq) ~writes
+          with
+          | exception Engine.Stability_timeout ->
+              (* The prepare entry is durable but not rollback-protected, so
+                 §V forbids the ACK; vote FAIL and let the coordinator's
+                 abort (or recovery) clean up the registered prepare. *)
+              status_reply 1
+          | () ->
+              (* ACK carries the read versions for the coordinator's history. *)
+              let b = Buffer.create 64 in
+              Wire.w8 b 0;
+              Wire.wlist b
+                (fun b (k, s) ->
+                  Wire.wstr b k;
+                  Wire.w64 b s)
+                (Local_txn.read_set ctx);
+              Buffer.contents b))
 
 let handle_commit t (meta : Secure_msg.meta) _payload =
   let installed = Engine.resolve t.engine ~tx:(meta.coord, meta.tx_seq) ~commit:true in
@@ -565,11 +573,14 @@ let commit_distributed t ctx =
       let ok =
         match Local_txn.prepare ctx.ct_local with
         | Error (`Conflict | `Timeout) -> false
-        | Ok () ->
+        | Ok () -> (
             let writes = Local_txn.writes ctx.ct_local in
-            if writes <> [] then
-              Engine.prepare t.engine ~tx:(self, ctx.ct_seq) ~writes;
-            true
+            match
+              if writes <> [] then
+                Engine.prepare t.engine ~tx:(self, ctx.ct_seq) ~writes
+            with
+            | () -> true
+            | exception Engine.Stability_timeout -> false)
       in
       Hashtbl.replace results self ok;
       Latch.arrive latch);
@@ -580,7 +591,23 @@ let commit_distributed t ctx =
     Engine.clog_append t.engine
       (Clog_record.Decision { tx_seq = ctx.ct_seq; commit = all_ok })
   in
-  Engine.clog_wait_stable t.engine ~counter:decision_counter;
+  let decision_stable =
+    match Engine.clog_wait_stable t.engine ~counter:decision_counter with
+    | Ok () -> true
+    | Error `Stability_timeout -> false
+  in
+  (* An unstabilized commit decision must not be acted on: recovery replays
+     only the trusted Clog prefix, so the record could vanish and recovery
+     would abort a transaction whose participants already committed.
+     Supersede it with an abort — recovery takes the latest decision per tx,
+     and if the whole tail is lost it aborts the undecided tx anyway, which
+     is exactly what the participants are now told to do. *)
+  if all_ok && not decision_stable then
+    ignore
+      (Engine.clog_append t.engine
+         (Clog_record.Decision { tx_seq = ctx.ct_seq; commit = false }));
+  let prepared_ok = all_ok in
+  let all_ok = all_ok && decision_stable in
   Hashtbl.replace t.decisions ctx.ct_seq all_ok;
   if all_ok then begin
     (* Step 8: commit everywhere; no need to wait for stability to ack. *)
@@ -624,7 +651,9 @@ let commit_distributed t ctx =
     ignore (Engine.clog_append t.engine (Clog_record.Finished { tx_seq = ctx.ct_seq }));
     t.stats.aborted <- t.stats.aborted + 1;
     finish_coord t ctx;
-    Error Types.Participant_failed
+    Error
+      (if prepared_ok then Types.Stabilization_unavailable
+       else Types.Participant_failed)
   end
 
 let commit_single_node t ctx =
@@ -635,18 +664,28 @@ let commit_single_node t ctx =
   | Error `Timeout ->
       abort_tx t ctx;
       Error Types.Lock_timeout
-  | Ok () ->
+  | Ok () -> (
       let writes = Local_txn.writes ctx.ct_local in
-      let seq =
-        if writes = [] then None
-        else Some (Engine.commit t.engine ~writes)
-      in
-      (match seq with Some s -> Local_txn.set_installed_seq ctx.ct_local s | None -> ());
-      record_history t ctx ~installed_local_seq:seq;
-      t.stats.committed <- t.stats.committed + 1;
-      t.stats.single_node_committed <- t.stats.single_node_committed + 1;
-      finish_coord t ctx;
-      Ok ()
+      match
+        if writes = [] then None else Some (Engine.commit t.engine ~writes)
+      with
+      | exception Engine.Stability_timeout ->
+          (* The writes are applied and locally durable, but the WAL entry is
+             not rollback-protected: a crash now would drop it from the
+             trusted prefix. Refuse the ack — the client sees an abort, and
+             an unacked transaction has no durability obligation. *)
+          t.stats.aborted <- t.stats.aborted + 1;
+          finish_coord t ctx;
+          Error Types.Stabilization_unavailable
+      | seq ->
+          (match seq with
+          | Some s -> Local_txn.set_installed_seq ctx.ct_local s
+          | None -> ());
+          record_history t ctx ~installed_local_seq:seq;
+          t.stats.committed <- t.stats.committed + 1;
+          t.stats.single_node_committed <- t.stats.single_node_committed + 1;
+          finish_coord t ctx;
+          Ok ())
 
 let handle_client_commit t _meta payload =
   let r = Wire.reader payload in
@@ -674,6 +713,7 @@ let handle_client_commit t _meta payload =
                 | Types.Lock_timeout -> 0
                 | Types.Validation_failed -> 1
                 | Types.Participant_failed -> 2
+                | Types.Stabilization_unavailable -> 4
                 | _ -> 3);
               Buffer.contents b))
 
@@ -830,6 +870,7 @@ let build_parts (deps : deps) ssd =
       dedup_ttl_ns = cfg.dedup_ttl_ns;
       msgbuf_region = (if cfg.naive_rpc_port then Mempool.Enclave else Mempool.Host);
       rdtsc_ocalls = cfg.naive_rpc_port;
+      burst_window_ns = (if cfg.profile.batching then cfg.burst_window_ns else 0);
     }
   in
   let rpc =
@@ -879,7 +920,9 @@ let build_parts (deps : deps) ssd =
   in
   let counter_client =
     if cfg.profile.stabilization then
-      Some (Counter_client.create rote ~owner:deps.node_id)
+      Some
+        (Counter_client.create ~batch_logs:cfg.profile.batching rote
+           ~owner:deps.node_id)
     else None
   in
   (enclave, pool, rpc, sec, locks, rote, counter_client, ssd)
@@ -965,7 +1008,10 @@ let recover_with deps ~ssd =
           | Clog_record.Decision { tx_seq; commit } ->
               max_seq := max !max_seq tx_seq;
               Hashtbl.replace decided tx_seq commit
-          | Clog_record.Finished { tx_seq } -> Hashtbl.replace finished tx_seq ())
+          | Clog_record.Finished { tx_seq } -> Hashtbl.replace finished tx_seq ()
+          | Clog_record.Batch _ ->
+              (* Engine.recover flattens group-committed windows. *)
+              ())
         info.Engine.clog_records;
       (* New incarnation: leave a wide gap so txids never collide with stale
          dedup state on peers. *)
@@ -989,7 +1035,10 @@ let recover_with deps ~ssd =
                   Engine.clog_append t.engine
                     (Clog_record.Decision { tx_seq = seq; commit = false })
                 in
-                Engine.clog_wait_stable t.engine ~counter:c;
+                (* The group had quorum moments ago (recovery queried it);
+                   even if this wait fails, driving the abort is safe — a
+                   lost abort record re-aborts on the next recovery. *)
+                ignore (Engine.clog_wait_stable t.engine ~counter:c);
                 Hashtbl.replace t.decisions seq false;
                 false
           in

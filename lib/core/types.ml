@@ -14,6 +14,7 @@ type abort_reason =
   | Integrity
   | Rolled_back
   | Unauthenticated
+  | Stabilization_unavailable
 
 let abort_reason_to_string = function
   | Lock_timeout -> "lock timeout"
@@ -22,5 +23,6 @@ let abort_reason_to_string = function
   | Integrity -> "integrity violation"
   | Rolled_back -> "rolled back"
   | Unauthenticated -> "unauthenticated"
+  | Stabilization_unavailable -> "stabilization unavailable"
 
 type 'a txn_result = ('a, abort_reason) result

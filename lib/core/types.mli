@@ -21,6 +21,10 @@ type abort_reason =
   | Integrity  (** An integrity/freshness check failed mid-transaction. *)
   | Rolled_back  (** Explicit client rollback. *)
   | Unauthenticated
+  | Stabilization_unavailable
+      (** The trusted counter group was unreachable past its retry budget,
+          so a log entry could not be rollback-protected; the transaction is
+          aborted rather than acknowledged on unstable state. *)
 
 val abort_reason_to_string : abort_reason -> string
 

@@ -1,15 +1,16 @@
 module Sim = Treaty_sim.Sim
+
 type stats = {
   mutable submits : int;
   mutable rounds_started : int;
   mutable waits : int;
+  mutable failed_waits : int;
 }
 
 type log_state = {
   mutable stable : int;
   mutable target : int;  (* highest submitted value *)
-  mutable in_flight : bool;
-  mutable waiters : (int * unit Sim.ivar) list;
+  mutable waiters : (int * (unit, [ `Stability_timeout ]) result Sim.ivar) list;
 }
 
 type t = {
@@ -18,67 +19,129 @@ type t = {
   sim : Sim.t;
   logs : (string, log_state) Hashtbl.t;
   stats : stats;
+  attempts : int;
+  retry_backoff_ns : int;
+  batch_logs : bool;
+  epoch_window_ns : int;
+  mutable pump_active : bool;
 }
 
-let create replica ~owner =
+let create ?(attempts = 40) ?(retry_backoff_ns = 2_000_000) ?(batch_logs = true)
+    ?epoch_window_ns replica ~owner =
+  let epoch_window_ns =
+    (* The accumulation window only exists for the batched pipeline; the
+       per-log ablation keeps the fire-immediately behaviour. *)
+    match epoch_window_ns with
+    | Some w -> w
+    | None -> if batch_logs then 250_000 else 0
+  in
   {
     replica;
     owner;
     sim = Rote.sim replica;
     logs = Hashtbl.create 8;
-    stats = { submits = 0; rounds_started = 0; waits = 0 };
+    stats = { submits = 0; rounds_started = 0; waits = 0; failed_waits = 0 };
+    attempts;
+    retry_backoff_ns;
+    batch_logs;
+    epoch_window_ns;
+    pump_active = false;
   }
 
 let log_state t log =
   match Hashtbl.find_opt t.logs log with
   | Some s -> s
   | None ->
-      let s = { stable = 0; target = 0; in_flight = false; waiters = [] } in
+      let s = { stable = 0; target = 0; waiters = [] } in
       Hashtbl.replace t.logs log s;
       s
 
 let wake_waiters s =
   let ready, rest = List.partition (fun (c, _) -> c <= s.stable) s.waiters in
   s.waiters <- rest;
-  List.iter (fun (_, iv) -> Sim.fill iv ()) ready
+  List.iter (fun (_, iv) -> Sim.fill iv (Ok ())) ready
 
-let rec run_round t log s ~attempts =
-  let value = s.target in
-  t.stats.rounds_started <- t.stats.rounds_started + 1;
-  match Rote.increment t.replica ~owner:t.owner ~log ~value with
-  | Ok () ->
-      s.stable <- max s.stable value;
-      wake_waiters s;
-      if s.target > s.stable then run_round t log s ~attempts:40
-      else s.in_flight <- false
-  | Error `No_quorum ->
-      (* Availability loss, not a safety issue: retry with a backoff (the
-         fault model is crash-recovery, so the quorum normally returns).
-         Bounded so a torn-down cluster drains instead of spinning; waiters
-         of an abandoned round stay blocked, exactly like a partitioned
-         node. *)
-      if attempts > 0 then begin
-        Sim.sleep t.sim 2_000_000;
-        run_round t log s ~attempts:(attempts - 1)
-      end
-      else s.in_flight <- false
+(* Every log with submissions ahead of its trusted value, sorted by name so
+   the batch an epoch carries is independent of Hashtbl iteration order. *)
+let pending_targets t =
+  Hashtbl.fold
+    (fun log s acc -> if s.target > s.stable then (log, s.target) :: acc else acc)
+    t.logs []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let fail_all_waiters t =
+  Hashtbl.iter
+    (fun _ s ->
+      let abandoned = s.waiters in
+      s.waiters <- [];
+      List.iter
+        (fun (_, iv) ->
+          t.stats.failed_waits <- t.stats.failed_waits + 1;
+          Sim.fill iv (Error `Stability_timeout))
+        abandoned)
+    t.logs
+
+(* The epoch pump: while any log has pending targets, run one batched ROTE
+   increment carrying the current high-water mark of every such log, then
+   wake the waiters it covered. One pump per client — cross-log batching
+   replaces the old one-round-in-flight-per-log machinery. *)
+let rec pump t ~attempts =
+  (* Epoch accumulation: let a window of submissions pile up before the
+     round fires, so the ~per-round protocol cost is shared by every
+     transaction that lands inside it (group commit applied to counter
+     rounds). Pays up to [epoch_window_ns] extra stabilization latency. *)
+  if t.epoch_window_ns > 0 then Sim.sleep t.sim t.epoch_window_ns;
+  match pending_targets t with
+  | [] -> t.pump_active <- false
+  | targets -> (
+      let targets = if t.batch_logs then targets else [ List.hd targets ] in
+      t.stats.rounds_started <- t.stats.rounds_started + 1;
+      match Rote.increment_batch t.replica ~owner:t.owner ~targets with
+      | Ok () ->
+          List.iter
+            (fun (log, value) ->
+              let s = log_state t log in
+              s.stable <- max s.stable value;
+              wake_waiters s)
+            targets;
+          pump t ~attempts:t.attempts
+      | Error `No_quorum ->
+          (* Availability loss, not a safety issue: retry with a backoff (the
+             fault model is crash-recovery, so the quorum normally returns).
+             Bounded so a torn-down cluster drains instead of spinning; when
+             retries are exhausted every waiter is failed with
+             [`Stability_timeout] — a later submit restarts the pump with a
+             fresh retry budget. *)
+          if attempts > 0 then begin
+            Sim.sleep t.sim t.retry_backoff_ns;
+            pump t ~attempts:(attempts - 1)
+          end
+          else begin
+            t.pump_active <- false;
+            fail_all_waiters t
+          end)
+
+let ensure_pump t =
+  if (not t.pump_active) && pending_targets t <> [] then begin
+    t.pump_active <- true;
+    Sim.spawn t.sim (fun () -> pump t ~attempts:t.attempts)
+  end
 
 let submit t ~log ~counter =
   t.stats.submits <- t.stats.submits + 1;
   let s = log_state t log in
   if counter > s.target then s.target <- counter;
-  if (not s.in_flight) && s.target > s.stable then begin
-    s.in_flight <- true;
-    Sim.spawn t.sim (fun () -> run_round t log s ~attempts:40)
-  end
+  ensure_pump t
 
 let wait_stable t ~log ~counter =
   let s = log_state t log in
-  if counter > s.stable then begin
+  if counter <= s.stable then Ok ()
+  else begin
     t.stats.waits <- t.stats.waits + 1;
-    if counter > s.target then submit t ~log ~counter;
+    if counter > s.target then s.target <- counter;
     let iv = Sim.ivar () in
     s.waiters <- (counter, iv) :: s.waiters;
+    ensure_pump t;
     Sim.read t.sim iv
   end
 

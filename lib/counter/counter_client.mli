@@ -3,30 +3,55 @@
 
     Log appends call {!submit} with their counter value and keep working;
     fibers that must not proceed until an entry is rollback-protected call
-    {!wait_stable}. One increment round is in flight per log at a time, and
-    it always carries the *highest* submitted value, so bursts of appends
-    coalesce into one ROTE round — the batching that keeps the ~2 ms round
-    latency off the throughput path. *)
+    {!wait_stable}. A single *epoch pump* fiber drains the pending targets
+    of every log per ROTE round: each batched increment carries the highest
+    submitted value of each dirty log (WAL, MANIFEST, Clog), so bursts of
+    appends across all logs coalesce into one round — the batching that
+    keeps the ~2 ms round latency off the throughput path. *)
 
 type t
 
 type stats = {
   mutable submits : int;
   mutable rounds_started : int;
+      (** Batched increment attempts — with the epoch pump this is rounds
+          per *epoch*, not per log: [submits / rounds_started] is the
+          coalescing factor. *)
   mutable waits : int;
+  mutable failed_waits : int;
+      (** Waiters failed with [`Stability_timeout] after the pump exhausted
+          its quorum retries. *)
 }
 
-val create : Rote.replica -> owner:int -> t
-(** [owner] is the node whose logs this client stabilizes. *)
+val create :
+  ?attempts:int ->
+  ?retry_backoff_ns:int ->
+  ?batch_logs:bool ->
+  ?epoch_window_ns:int ->
+  Rote.replica ->
+  owner:int ->
+  t
+(** [owner] is the node whose logs this client stabilizes. [attempts]
+    (default 40) bounds consecutive no-quorum retries before pending waiters
+    are failed; [retry_backoff_ns] (default 2 ms) is the sleep between
+    retries. [batch_logs:false] restricts each round to a single log — the
+    ablation knob reproducing the pre-batching one-round-per-log behaviour.
+    [epoch_window_ns] (default 250 µs batched, 0 unbatched) is how long the
+    pump accumulates submissions before each round: the group-commit trade
+    of a bounded latency hit for rounds amortized across transactions. *)
 
 val stats : t -> stats
 
 val submit : t -> log:string -> counter:int -> unit
 (** Note that [counter] has been appended to [log]; start (or piggyback on)
-    an increment round. Returns immediately. *)
+    the epoch pump. Returns immediately. *)
 
-val wait_stable : t -> log:string -> counter:int -> unit
-(** Block the calling fiber until [counter] is trusted. *)
+val wait_stable :
+  t -> log:string -> counter:int -> (unit, [ `Stability_timeout ]) result
+(** Block the calling fiber until [counter] is trusted. [Error] means the
+    pump exhausted its quorum retries while this waiter was pending — the
+    counter may still stabilize later, but the caller must treat the entry
+    as not rollback-protected (abort, don't ack). *)
 
 val stable_value : t -> log:string -> int
 

@@ -12,6 +12,7 @@ type stats = {
   mutable rounds : int;
   mutable quorum_failures : int;
   mutable queries : int;
+  mutable targets : int;
 }
 
 type replica = {
@@ -34,19 +35,62 @@ let seal_cost t =
   let e = Erpc.enclave t.rpc in
   Enclave.compute e (Enclave.cost e).rote_seal_ns
 
-let encode_update ~owner ~log ~value =
-  let b = Buffer.create 32 in
+(* Echo rounds carry a batch of (log, value) targets for one owner — a
+   single protocol round stabilizes every log that has pending submissions
+   (the epoch pump in Counter_client drains all logs per round). *)
+let encode_batch ~owner ~targets =
+  let b = Buffer.create 64 in
   Wire.w64 b owner;
-  Wire.wstr b log;
-  Wire.w64 b value;
+  Wire.wlist b
+    (fun b (log, value) ->
+      Wire.wstr b log;
+      Wire.w64 b value)
+    targets;
   Buffer.contents b
 
-let decode_update payload =
+let decode_batch payload =
   let r = Wire.reader payload in
   let owner = Wire.r64 r in
-  let log = Wire.rstr r in
-  let value = Wire.r64 r in
-  (owner, log, value)
+  let targets =
+    Wire.rlist r (fun r ->
+        let log = Wire.rstr r in
+        let value = Wire.r64 r in
+        (log, value))
+  in
+  (owner, targets)
+
+(* Receiver-enclave transitions, shared between the registered RPC handlers
+   and the sender's local participation in [round]. *)
+let apply_echo1 t ~owner targets =
+  List.iter
+    (fun (log, value) -> Hashtbl.replace t.pending (owner, log) value)
+    targets;
+  "echo"
+
+let apply_echo2 t ~owner targets =
+  (* All-or-nothing: the ack confirms the whole epoch batch, so a single
+     mismatched target (a concurrent round replaced the pending value)
+     nacks without committing anything. *)
+  let all_match =
+    List.for_all
+      (fun (log, value) ->
+        match Hashtbl.find_opt t.pending (owner, log) with
+        | Some v -> v = value
+        | None -> false)
+      targets
+  in
+  if all_match then begin
+    List.iter
+      (fun (log, value) ->
+        let cur =
+          Option.value ~default:0 (Hashtbl.find_opt t.committed (owner, log))
+        in
+        Hashtbl.replace t.committed (owner, log) (max cur value);
+        Hashtbl.remove t.pending (owner, log))
+      targets;
+    "ack"
+  end
+  else "nack"
 
 let seal_state t =
   (* Seal the committed table to this enclave's identity. *)
@@ -70,7 +114,8 @@ let create_replica rpc ~group ?(persist = fun _ -> ()) ?(restore = fun () -> [])
       committed = Hashtbl.create 32;
       pending = Hashtbl.create 8;
       persist;
-      stats = { increments = 0; rounds = 0; quorum_failures = 0; queries = 0 };
+      stats =
+        { increments = 0; rounds = 0; quorum_failures = 0; queries = 0; targets = 0 };
     }
   in
   (* Re-seed from the newest sealed snapshot that authenticates (a torn or
@@ -99,19 +144,12 @@ let create_replica rpc ~group ?(persist = fun _ -> ()) ?(restore = fun () -> [])
   try_restore (List.rev (restore ()));
   Erpc.register rpc ~kind:kind_echo1 (fun _meta payload ->
       proc_cost t;
-      let owner, log, value = decode_update payload in
-      Hashtbl.replace t.pending (owner, log) value;
-      "echo");
+      let owner, targets = decode_batch payload in
+      apply_echo1 t ~owner targets);
   Erpc.register rpc ~kind:kind_echo2 (fun _meta payload ->
       proc_cost t;
-      let owner, log, value = decode_update payload in
-      match Hashtbl.find_opt t.pending (owner, log) with
-      | Some v when v = value ->
-          let cur = Option.value ~default:0 (Hashtbl.find_opt t.committed (owner, log)) in
-          Hashtbl.replace t.committed (owner, log) (max cur value);
-          Hashtbl.remove t.pending (owner, log);
-          "ack"
-      | Some _ | None -> "nack");
+      let owner, targets = decode_batch payload in
+      apply_echo2 t ~owner targets);
   Erpc.register rpc ~kind:kind_query (fun _meta payload ->
       proc_cost t;
       let r = Wire.reader payload in
@@ -143,20 +181,11 @@ let round t ~kind ~payload =
              proc_cost t;
              match kind with
              | k when k = kind_echo1 ->
-                 let owner, log, value = decode_update payload in
-                 Hashtbl.replace t.pending (owner, log) value;
-                 replies := "echo" :: !replies
+                 let owner, targets = decode_batch payload in
+                 replies := apply_echo1 t ~owner targets :: !replies
              | k when k = kind_echo2 ->
-                 let owner, log, value = decode_update payload in
-                 (match Hashtbl.find_opt t.pending (owner, log) with
-                 | Some v when v = value ->
-                     let cur =
-                       Option.value ~default:0 (Hashtbl.find_opt t.committed (owner, log))
-                     in
-                     Hashtbl.replace t.committed (owner, log) (max cur value);
-                     Hashtbl.remove t.pending (owner, log);
-                     replies := "ack" :: !replies
-                 | Some _ | None -> replies := "nack" :: !replies)
+                 let owner, targets = decode_batch payload in
+                 replies := apply_echo2 t ~owner targets :: !replies
              | _ -> ()
            end
            else
@@ -170,27 +199,34 @@ let round t ~kind ~payload =
     latch;
   !replies
 
+let increment_batch t ~owner ~targets =
+  match targets with
+  | [] -> Ok ()
+  | _ ->
+      t.stats.increments <- t.stats.increments + 1;
+      t.stats.targets <- t.stats.targets + List.length targets;
+      let payload = encode_batch ~owner ~targets in
+      let echoes = round t ~kind:kind_echo1 ~payload in
+      let ok_echoes = List.length (List.filter (( = ) "echo") echoes) in
+      if ok_echoes < t.quorum then begin
+        t.stats.quorum_failures <- t.stats.quorum_failures + 1;
+        Error `No_quorum
+      end
+      else begin
+        let acks = round t ~kind:kind_echo2 ~payload in
+        let ok_acks = List.length (List.filter (( = ) "ack") acks) in
+        if ok_acks < t.quorum then begin
+          t.stats.quorum_failures <- t.stats.quorum_failures + 1;
+          Error `No_quorum
+        end
+        else begin
+          seal_state t;
+          Ok ()
+        end
+      end
+
 let increment t ~owner ~log ~value =
-  t.stats.increments <- t.stats.increments + 1;
-  let payload = encode_update ~owner ~log ~value in
-  let echoes = round t ~kind:kind_echo1 ~payload in
-  let ok_echoes = List.length (List.filter (( = ) "echo") echoes) in
-  if ok_echoes < t.quorum then begin
-    t.stats.quorum_failures <- t.stats.quorum_failures + 1;
-    Error `No_quorum
-  end
-  else begin
-    let acks = round t ~kind:kind_echo2 ~payload in
-    let ok_acks = List.length (List.filter (( = ) "ack") acks) in
-    if ok_acks < t.quorum then begin
-      t.stats.quorum_failures <- t.stats.quorum_failures + 1;
-      Error `No_quorum
-    end
-    else begin
-      seal_state t;
-      Ok ()
-    end
-  end
+  increment_batch t ~owner ~targets:[ (log, value) ]
 
 let local_value t ~owner ~log =
   Option.value ~default:0 (Hashtbl.find_opt t.committed (owner, log))

@@ -25,9 +25,13 @@ val kind_query : int
 
 type stats = {
   mutable increments : int;
-  mutable rounds : int;
+      (** Confirmed-or-failed increment attempts (an epoch batch counts 1). *)
+  mutable rounds : int;  (** Broadcast rounds run (2 per successful increment). *)
   mutable quorum_failures : int;
   mutable queries : int;
+  mutable targets : int;
+      (** Total (log, value) targets carried across all increments —
+          [targets / increments] is the epoch-batching factor. *)
 }
 
 val create_replica :
@@ -57,6 +61,17 @@ val increment :
     [(owner, log)]. Values must be submitted in increasing order; a larger
     value subsumes smaller ones. Blocks the calling fiber for the protocol
     rounds (~2 ms); fails if a quorum of the group is unreachable. *)
+
+val increment_batch :
+  replica ->
+  owner:int ->
+  targets:(string * int) list ->
+  (unit, [ `No_quorum ]) result
+(** Epoch-batched increment: one echo-broadcast (two rounds) carries one
+    target value per log, so stabilizing WAL + MANIFEST + Clog costs the
+    same as stabilizing one of them. Receivers treat the batch
+    all-or-nothing: the second-round ack confirms every target, and on
+    [Ok ()] all targets are trusted. [targets = \[\]] is a no-op. *)
 
 val local_value : replica -> owner:int -> log:string -> int
 (** This replica's in-enclave view (0 if unknown). *)

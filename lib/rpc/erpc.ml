@@ -2,6 +2,7 @@ module Sim = Treaty_sim.Sim
 module Enclave = Treaty_tee.Enclave
 module Mempool = Treaty_memalloc.Mempool
 module Net = Treaty_netsim.Net
+module Wire = Treaty_util.Wire
 
 type config = {
   transport : Transport.kind;
@@ -11,6 +12,8 @@ type config = {
   rdtsc_ocalls : bool;
   timeout_ns : int;
   dedup_ttl_ns : int;
+  burst_window_ns : int;
+  burst_max_msgs : int;
 }
 
 let default_config ~security =
@@ -22,6 +25,8 @@ let default_config ~security =
     rdtsc_ocalls = false;
     timeout_ns = 50_000_000 (* 50 ms *);
     dedup_ttl_ns = 2_000_000_000 (* 2 s *);
+    burst_window_ns = 0;
+    burst_max_msgs = 32;
   }
 
 type error = [ `Timeout | `Tampered ]
@@ -32,6 +37,8 @@ type stats = {
   mutable mac_failures : int;
   mutable replays_suppressed : int;
   mutable timeouts : int;
+  mutable bursts_sent : int;
+  mutable burst_msgs : int;
 }
 
 type dedup_entry = Running of string Sim.ivar | Done of string
@@ -61,6 +68,9 @@ type t = {
   epoch : int;
   mutable next_tx_seq : int;
   mutable alive : bool;
+  outq : (int, string list ref) Hashtbl.t;
+      (* dst -> encoded wires (newest first) awaiting the doorbell. *)
+  mutable doorbell_active : bool;
   stats : stats;
 }
 
@@ -75,18 +85,80 @@ let with_msgbuf t size f =
   let buf = Mempool.alloc t.pool ~owner:t.node_id t.config.msgbuf_region size in
   Fun.protect ~finally:(fun () -> Mempool.free t.pool ~owner:t.node_id buf) f
 
+(* Every packet is an envelope framing a burst of encoded messages — the
+   framing is unconditional so endpoints decode uniformly whether or not
+   the sender coalesces. *)
+let envelope wires =
+  let b = Buffer.create 256 in
+  Wire.wlist b Wire.wstr wires;
+  Buffer.contents b
+
+(* Ring the doorbell: one netsim packet, one transport traversal and one
+   serialization (fragmented by MTU) carry the whole burst to [dst]. *)
+let flush_burst t ~dst wires =
+  match wires with
+  | [] -> ()
+  | _ ->
+      let payload = envelope wires in
+      let bytes = String.length payload in
+      t.stats.bursts_sent <- t.stats.bursts_sent + 1;
+      t.stats.burst_msgs <- t.stats.burst_msgs + List.length wires;
+      Transport.charge_burst t.config.params t.enclave t.config.transport
+        ~dir:`Tx ~bytes ~msgs:(List.length wires);
+      let frags = Transport.fragments (Enclave.cost t.enclave) ~bytes in
+      Net.send t.net ~src:t.node_id ~dst ~wire_overhead:(64 * frags) payload
+
+let flush_all t =
+  if not t.alive then Hashtbl.reset t.outq
+  else begin
+    let dsts = Hashtbl.fold (fun dst _ acc -> dst :: acc) t.outq [] in
+    List.iter
+      (fun dst ->
+        match Hashtbl.find_opt t.outq dst with
+        | None -> ()
+        | Some q ->
+            Hashtbl.remove t.outq dst;
+            flush_burst t ~dst (List.rev !q))
+      (List.sort compare dsts)
+  end
+
 let send_wire t ~dst meta data =
   if not t.alive then ()
-  else
-  let data_len = String.length data in
-  let wire_len = Secure_msg.wire_size t.config.security ~data_len in
-  with_msgbuf t wire_len (fun () ->
-      if t.config.rdtsc_ocalls then Enclave.world_switch t.enclave;
-      Transport.charge t.config.params t.enclave t.config.transport
-        ~rpc_layer:true ~dir:`Tx ~bytes:wire_len;
-      crypto_charge t ~bytes:wire_len;
-      let wire = Secure_msg.encode t.config.security ~iv_gen:t.iv_gen meta data in
-      Net.send t.net ~src:t.node_id ~dst wire)
+  else begin
+    let data_len = String.length data in
+    let wire_len = Secure_msg.wire_size t.config.security ~data_len in
+    let wire =
+      with_msgbuf t wire_len (fun () ->
+          if t.config.rdtsc_ocalls then Enclave.world_switch t.enclave;
+          crypto_charge t ~bytes:wire_len;
+          Secure_msg.encode t.config.security ~iv_gen:t.iv_gen meta data)
+    in
+    if t.config.burst_window_ns <= 0 then flush_burst t ~dst [ wire ]
+    else begin
+      let q =
+        match Hashtbl.find_opt t.outq dst with
+        | Some q -> q
+        | None ->
+            let q = ref [] in
+            Hashtbl.replace t.outq dst q;
+            q
+      in
+      q := wire :: !q;
+      if List.length !q >= t.config.burst_max_msgs then begin
+        (* Full burst: ring the doorbell early instead of growing past what
+           one TxBurst can carry. *)
+        Hashtbl.remove t.outq dst;
+        flush_burst t ~dst (List.rev !q)
+      end
+      else if not t.doorbell_active then begin
+        t.doorbell_active <- true;
+        Sim.spawn t.sim (fun () ->
+            Sim.sleep t.sim t.config.burst_window_ns;
+            t.doorbell_active <- false;
+            flush_all t)
+      end
+    end
+  end
 
 let send_response t ~dst (meta : Secure_msg.meta) payload =
   t.stats.responses_sent <- t.stats.responses_sent + 1;
@@ -162,26 +234,44 @@ let handle_request t (meta : Secure_msg.meta) data =
           Sim.fill running payload;
           reply payload)
 
+let dispatch_wire t wire =
+  crypto_charge t ~bytes:(String.length wire);
+  match Secure_msg.decode t.config.security wire with
+  | Error (`Tampered | `Malformed) ->
+      t.stats.mac_failures <- t.stats.mac_failures + 1
+  | Ok (meta, data) ->
+      if meta.is_response then begin
+        match Hashtbl.find_opt t.pending meta.req_id with
+        | Some iv ->
+            Hashtbl.remove t.pending meta.req_id;
+            ignore (Sim.try_fill iv (Ok data))
+        | None -> () (* response after timeout: drop *)
+      end
+      else handle_request t meta data
+
 let on_packet t (pkt : Treaty_netsim.Packet.t) =
   (* Runs as a network-delivery event; spawn a fiber so handlers can block. *)
   Sim.spawn t.sim (fun () ->
       if t.alive then begin
         if t.config.rdtsc_ocalls then Enclave.world_switch t.enclave;
-        Transport.charge t.config.params t.enclave t.config.transport
-          ~rpc_layer:true ~dir:`Rx ~bytes:pkt.size;
-        crypto_charge t ~bytes:(String.length pkt.payload);
-        match Secure_msg.decode t.config.security pkt.payload with
-        | Error (`Tampered | `Malformed) ->
+        match Wire.rlist (Wire.reader pkt.payload) Wire.rstr with
+        | exception Wire.Malformed _ ->
+            (* Envelope framing destroyed by tampering: nothing inside is
+               recoverable. *)
+            Transport.charge t.config.params t.enclave t.config.transport
+              ~rpc_layer:true ~dir:`Rx ~bytes:pkt.size;
             t.stats.mac_failures <- t.stats.mac_failures + 1
-        | Ok (meta, data) ->
-            if meta.is_response then begin
-              match Hashtbl.find_opt t.pending meta.req_id with
-              | Some iv ->
-                  Hashtbl.remove t.pending meta.req_id;
-                  ignore (Sim.try_fill iv (Ok data))
-              | None -> () (* response after timeout: drop *)
-            end
-            else handle_request t meta data
+        | wires ->
+            Transport.charge_burst t.config.params t.enclave t.config.transport
+              ~dir:`Rx ~bytes:pkt.size ~msgs:(List.length wires);
+            (* One fiber per message: a burst may interleave a blocking
+               request (e.g. a prepare awaiting stabilization) with the very
+               counter-service traffic it is waiting on, so messages must
+               not queue behind each other's handlers. *)
+            List.iter
+              (fun wire ->
+                Sim.spawn t.sim (fun () -> if t.alive then dispatch_wire t wire))
+              wires
       end)
 
 let create sim ~net ~enclave ~pool ~config ~node_id ?net_config () =
@@ -203,6 +293,8 @@ let create sim ~net ~enclave ~pool ~config ~node_id ?net_config () =
       epoch = (incr next_epoch; !next_epoch);
       next_tx_seq = 0;
       alive = true;
+      outq = Hashtbl.create 8;
+      doorbell_active = false;
       stats =
         {
           requests_sent = 0;
@@ -210,6 +302,8 @@ let create sim ~net ~enclave ~pool ~config ~node_id ?net_config () =
           mac_failures = 0;
           replays_suppressed = 0;
           timeouts = 0;
+          bursts_sent = 0;
+          burst_msgs = 0;
         };
     }
   in
@@ -260,4 +354,5 @@ let call t ~dst ~kind ?coord ?tx_seq ?op_id ?timeout_ns payload =
 
 let shutdown t =
   t.alive <- false;
+  Hashtbl.reset t.outq;
   Net.unregister t.net ~id:t.node_id

@@ -31,6 +31,15 @@ type config = {
           non-transactional (fresh per call, never replayed beyond the
           network's duplication window): without an owning transaction no
           commit/abort ever forgets them, so they are reclaimed by age. *)
+  burst_window_ns : int;
+      (** Doorbell/TxBurst coalescing: messages enqueued to the same
+          destination within this window ride one packet — one transport
+          traversal and one serialization, fragmented by MTU (the paper's
+          eRPC batching). [0] disables coalescing (every message is its own
+          packet, as before). *)
+  burst_max_msgs : int;
+      (** Flush a destination's burst early once it holds this many
+          messages. *)
 }
 
 val default_config : security:Secure_msg.security -> config
@@ -43,6 +52,10 @@ type stats = {
   mutable mac_failures : int;  (** Tampered messages dropped. *)
   mutable replays_suppressed : int;  (** At-most-once cache hits. *)
   mutable timeouts : int;
+  mutable bursts_sent : int;  (** Packets emitted (each carries a burst). *)
+  mutable burst_msgs : int;
+      (** Messages carried in those packets — [burst_msgs / bursts_sent] is
+          the coalescing factor. *)
 }
 
 type t

@@ -16,6 +16,7 @@ type params = {
   dpdk_fixed_ns : int;
   dpdk_per_byte_ns : float;
   erpc_rpc_fixed_ns : int;
+  erpc_burst_msg_ns : int;
   scone_socket_syscall_ns : int;
   scone_shield_per_byte_ns : float;
   dpdk_enclave_copy_per_byte_ns : float;
@@ -31,6 +32,7 @@ let default_params =
     dpdk_fixed_ns = 350;
     dpdk_per_byte_ns = 0.08;
     erpc_rpc_fixed_ns = 950;
+    erpc_burst_msg_ns = 150;
     scone_socket_syscall_ns = 3_500;
     scone_shield_per_byte_ns = 9.0;
     dpdk_enclave_copy_per_byte_ns = 3.0;
@@ -86,6 +88,19 @@ let charge p enclave kind ~rpc_layer ~dir ~bytes =
   done;
   Enclave.compute_untrusted enclave
     (per_msg_ns p cost mode kind ~rpc_layer ~dir ~bytes)
+
+(* Doorbell-coalesced burst: one transport traversal (fixed costs, and on
+   kernel paths one syscall batch) for the combined bytes, plus a small
+   per-extra-message descriptor cost — the eRPC TxBurst amortization. *)
+let charge_burst p enclave kind ~dir ~bytes ~msgs =
+  let mode = Enclave.mode enclave in
+  let cost = Enclave.cost enclave in
+  for _ = 1 to syscalls_per_msg kind do
+    (Enclave.stats enclave).syscalls <- (Enclave.stats enclave).syscalls + 1
+  done;
+  Enclave.compute_untrusted enclave
+    (per_msg_ns p cost mode kind ~rpc_layer:true ~dir ~bytes
+    + (max 0 (msgs - 1) * p.erpc_burst_msg_ns))
 
 let fragments (cost : Treaty_sim.Costmodel.t) ~bytes =
   (bytes + cost.mtu_bytes - 1) / cost.mtu_bytes

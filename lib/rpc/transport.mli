@@ -31,6 +31,10 @@ type params = {
   erpc_rpc_fixed_ns : int;
       (** Extra per-RPC work over raw DPDK: sessions, credits, reordering,
           continuation dispatch. *)
+  erpc_burst_msg_ns : int;
+      (** Per-additional-message descriptor cost inside a doorbell-coalesced
+          burst — what each coalesced message still pays after the fixed
+          per-packet costs are amortized. *)
   scone_socket_syscall_ns : int;
       (** Per-socket-syscall cost under SCONE (queue handoff + wakeup): far
           worse than the file-I/O async syscall path. *)
@@ -71,6 +75,19 @@ val charge :
   unit
 (** Charge [per_msg_ns] on the enclave's CPU, plus the transport's syscalls
     (which under SCONE include the shield-layer copy of [bytes]). *)
+
+val charge_burst :
+  params ->
+  Treaty_tee.Enclave.t ->
+  kind ->
+  dir:[ `Tx | `Rx ] ->
+  bytes:int ->
+  msgs:int ->
+  unit
+(** Charge one doorbell-coalesced burst of [msgs] messages totalling [bytes]:
+    the fixed per-packet costs (and any syscalls) are paid once, each extra
+    message adds only [erpc_burst_msg_ns]. [msgs = 1] charges the same as
+    {!charge} with [rpc_layer:true]. *)
 
 val fragments : Treaty_sim.Costmodel.t -> bytes:int -> int
 (** IP fragments a UDP datagram of [bytes] needs. *)

@@ -11,6 +11,13 @@ type record =
   | Begin_2pc of { tx_seq : int; participants : int list }
   | Decision of { tx_seq : int; commit : bool }
   | Finished of { tx_seq : int }
+  | Batch of record list
+      (** Group-committed window of records sharing one authenticated append
+          and one counter value (§VII-B applied to the Clog). *)
 
 val encode : record -> string
 val decode : string -> record
+
+val flatten : record -> record list
+(** Expand nested [Batch]es into the flat record sequence, in append order.
+    A plain record flattens to itself. *)

@@ -3,11 +3,16 @@ module Enclave = Treaty_tee.Enclave
 
 type stability = {
   submit : log:string -> counter:int -> unit;
-  wait_stable : log:string -> counter:int -> unit;
+  wait_stable : log:string -> counter:int -> (unit, [ `Stability_timeout ]) result;
 }
 
+exception Stability_timeout
+
 let noop_stability =
-  { submit = (fun ~log:_ ~counter:_ -> ()); wait_stable = (fun ~log:_ ~counter:_ -> ()) }
+  {
+    submit = (fun ~log:_ ~counter:_ -> ());
+    wait_stable = (fun ~log:_ ~counter:_ -> Ok ());
+  }
 
 type config = {
   memtable_max_bytes : int;
@@ -16,6 +21,7 @@ type config = {
   l0_trigger : int;
   level_base_bytes : int;
   group_commit : bool;
+  clog_group_commit : bool;
   group_window_ns : int;
   values_in_enclave : bool;
   wait_commit_stable : bool;
@@ -30,6 +36,7 @@ let default_config =
     l0_trigger = 4;
     level_base_bytes = 16 * 1024 * 1024;
     group_commit = true;
+    clog_group_commit = true;
     group_window_ns = 15_000;
     values_in_enclave = false;
     wait_commit_stable = true;
@@ -44,6 +51,7 @@ type stats = {
   mutable compactions : int;
   mutable sst_block_reads : int;
   mutable wal_appends : int;
+  mutable clog_appends : int;
 }
 
 type recovery_info = {
@@ -86,6 +94,7 @@ type t = {
   mutable visible_seq : int;
   commit_lock : Sim.Resource.resource;
   mutable group : commit_item Group_commit.t option;
+  mutable clog_group : Clog_record.record Group_commit.t option;
   prepared : (Wal_record.txid, (string * Op.t) list * int (* wal id *)) Hashtbl.t;
   wal_unresolved : (int, int ref) Hashtbl.t;  (* wal id -> live prepare count *)
   active_snapshots : (int, int) Hashtbl.t;  (* snapshot seq -> refcount *)
@@ -132,6 +141,7 @@ let fresh_stats () =
     compactions = 0;
     sst_block_reads = 0;
     wal_appends = 0;
+    clog_appends = 0;
   }
 
 let manifest_append t edit =
@@ -178,6 +188,22 @@ let mk_group t =
       t.visible_seq <- t.last_alloc_seq;
       counter)
 
+(* Clog group commit: a yield window of 2PC records (Begin/Decision/Finished
+   across concurrent coordinated transactions) rides one authenticated
+   append and one counter submission — every record in the window shares
+   the batch's counter, so one stabilization round covers them all. *)
+let mk_clog_group t =
+  Group_commit.create t.sim ~window_ns:t.config.group_window_ns
+    ~flush:(fun records ->
+      let payload =
+        match records with
+        | [ record ] -> Clog_record.encode record
+        | records -> Clog_record.encode (Clog_record.Batch records)
+      in
+      let c = Log_auth.append t.clog payload in
+      t.stability.submit ~log:clog_log ~counter:c;
+      c)
+
 let create_internal sim ssd sec cfg stability =
   let t =
     {
@@ -199,6 +225,7 @@ let create_internal sim ssd sec cfg stability =
       visible_seq = 0;
       commit_lock = Sim.Resource.create sim ~capacity:1 "commit";
       group = None;
+      clog_group = None;
       prepared = Hashtbl.create 32;
       wal_unresolved = Hashtbl.create 8;
       active_snapshots = Hashtbl.create 64;
@@ -209,6 +236,8 @@ let create_internal sim ssd sec cfg stability =
     }
   in
   if cfg.group_commit then t.group <- Some (mk_group t);
+  if cfg.clog_group_commit && not cfg.in_memory then
+    t.clog_group <- Some (mk_clog_group t);
   t
 
 let create ssd sec cfg stability =
@@ -505,8 +534,12 @@ and compact t l =
     (* Defer deleting inputs until the MANIFEST records are stable (§VI). *)
     let names = List.map (fun lf -> Sstable.file_name ~file_id:lf.meta.Manifest.file_id) inputs in
     Sim.spawn t.sim (fun () ->
-        t.stability.wait_stable ~log:manifest_log ~counter:last_edit;
-        List.iter (Ssd.delete t.ssd) names)
+        match t.stability.wait_stable ~log:manifest_log ~counter:last_edit with
+        | Ok () -> List.iter (Ssd.delete t.ssd) names
+        | Error `Stability_timeout ->
+            (* Stabilization unavailable: keep the inputs — recovery from the
+               stale MANIFEST prefix still finds them. Only space is lost. *)
+            ())
   end
 
 let wal_unresolved_count t wal_id =
@@ -542,8 +575,12 @@ let flush_oldest_immutable t =
         List.filter (fun (_, wid) -> wid <> old_wal_id) t.immutables;
       let edit = !last_edit in
       Sim.spawn t.sim (fun () ->
-          t.stability.wait_stable ~log:manifest_log ~counter:edit;
-          Ssd.delete t.ssd (Manifest.wal_name old_wal_id);
+          (match t.stability.wait_stable ~log:manifest_log ~counter:edit with
+          | Ok () -> Ssd.delete t.ssd (Manifest.wal_name old_wal_id)
+          | Error `Stability_timeout ->
+              (* Keep the WAL: if the Obsolete_wal edit never stabilizes,
+                 recovery replays it — duplicate-but-idempotent, not lost. *)
+              ());
           Memtable.release mt);
       maybe_compact t
 
@@ -595,11 +632,19 @@ let memtable_handle t = t.memtable
 
 (* Rollback protection for an acknowledged entry in the current WAL: both
    the WAL entry and the MANIFEST edit registering the WAL must be stable,
-   or trusted-prefix recovery would drop the WAL altogether. *)
+   or trusted-prefix recovery would drop the WAL altogether. Raises
+   [Stability_timeout] when the counter group is unreachable — the entry is
+   durable locally but NOT rollback-protected, so the caller must not ack. *)
 let wait_wal_entry_stable t ~counter =
   if not t.config.in_memory then begin
-    t.stability.wait_stable ~log:(Log_auth.name t.wal) ~counter;
-    t.stability.wait_stable ~log:manifest_log ~counter:t.wal_manifest_counter
+    let check = function
+      | Ok () -> ()
+      | Error `Stability_timeout -> raise Stability_timeout
+    in
+    check (t.stability.wait_stable ~log:(Log_auth.name t.wal) ~counter);
+    check
+      (t.stability.wait_stable ~log:manifest_log
+         ~counter:t.wal_manifest_counter)
   end
 
 let apply_writes t ~seq writes =
@@ -681,14 +726,20 @@ let prepared_txs t = Hashtbl.fold (fun tx _ acc -> tx :: acc) t.prepared []
 (* --- Clog ------------------------------------------------------------- *)
 
 let clog_append t record =
+  t.stats.clog_appends <- t.stats.clog_appends + 1;
   if t.config.in_memory then ephemeral_counter t clog_log
-  else begin
-    let c = Log_auth.append t.clog (Clog_record.encode record) in
-    t.stability.submit ~log:clog_log ~counter:c;
-    c
-  end
+  else
+    match t.clog_group with
+    | Some group -> Group_commit.submit group record
+    | None ->
+        let c = Log_auth.append t.clog (Clog_record.encode record) in
+        t.stability.submit ~log:clog_log ~counter:c;
+        c
 
 let clog_wait_stable t ~counter = t.stability.wait_stable ~log:clog_log ~counter
+
+let wal_group_stats t = Option.map Group_commit.stats t.group
+let clog_group_stats t = Option.map Group_commit.stats t.clog_group
 
 let clog_trim t ~upto = ignore (manifest_append t (Manifest.Clog_trim { upto }))
 
@@ -816,10 +867,16 @@ let recover ssd sec cfg stability ~trusted =
                       fail "CLOG: %s" (Format.asprintf "%a" Log_auth.pp_replay_error e)
                   | Ok (clog_entries, clog_dropped) ->
                       let clog_records =
-                        List.filter_map
+                        List.concat_map
                           (fun (c, payload) ->
-                            if c <= version.Manifest.clog_trim then None
-                            else Some (c, Clog_record.decode payload))
+                            if c <= version.Manifest.clog_trim then []
+                            else
+                              (* A group-committed window shares one counter:
+                                 every record it carries replays with the
+                                 batch's counter value. *)
+                              List.map
+                                (fun r -> (c, r))
+                                (Clog_record.flatten (Clog_record.decode payload)))
                           clog_entries
                       in
                       (* Consolidate: flush replayed state, retire all old

@@ -18,9 +18,15 @@
 type stability = {
   submit : log:string -> counter:int -> unit;
       (** Kick off asynchronous stabilization of [counter] on [log]. *)
-  wait_stable : log:string -> counter:int -> unit;
-      (** Block the calling fiber until stabilized. *)
+  wait_stable : log:string -> counter:int -> (unit, [ `Stability_timeout ]) result;
+      (** Block the calling fiber until stabilized. [Error] means the
+          counter service gave up (quorum unreachable past its retry
+          budget): the entry is durable locally but not rollback-protected. *)
 }
+
+exception Stability_timeout
+(** Raised by operations that must not acknowledge an entry whose
+    stabilization failed ({!commit} with [wait_commit_stable], {!prepare}). *)
 
 val noop_stability : stability
 
@@ -31,6 +37,10 @@ type config = {
   l0_trigger : int;  (** L0 file count that triggers compaction. *)
   level_base_bytes : int;  (** L1 capacity; each level below is 10x. *)
   group_commit : bool;
+  clog_group_commit : bool;
+      (** Route Clog appends through their own group commit: one
+          authenticated append + one counter submission per yield window of
+          2PC records (the commit-pipeline batching knob). *)
   group_window_ns : int;
   values_in_enclave : bool;  (** Ablation: MemTable values in EPC. *)
   wait_commit_stable : bool;
@@ -51,6 +61,7 @@ type stats = {
   mutable compactions : int;
   mutable sst_block_reads : int;
   mutable wal_appends : int;
+  mutable clog_appends : int;
 }
 
 type recovery_info = {
@@ -106,7 +117,9 @@ val commit : t -> writes:(string * Op.t) list -> int
     (group-committed with concurrent callers when enabled), applies to the
     MemTable at a freshly assigned sequence number (returned), publishes
     visibility, and if [wait_commit_stable] blocks until the WAL entry is
-    rollback-protected. *)
+    rollback-protected. Raises {!Stability_timeout} if that wait fails —
+    the writes are applied and locally durable, but the caller must not
+    acknowledge the transaction as committed. *)
 
 val retain_snapshot : t -> int -> unit
 (** Pin a snapshot: compactions keep every version a transaction reading at
@@ -117,7 +130,10 @@ val release_snapshot : t -> int -> unit
 val prepare : t -> tx:Wal_record.txid -> writes:(string * Op.t) list -> unit
 (** Participant prepare: persist the transaction's writes in the WAL and
     block until the entry is stable (§V: "participants delay replying back
-    to the coordinator until the prepare entry in the log is stabilized"). *)
+    to the coordinator until the prepare entry in the log is stabilized").
+    Raises {!Stability_timeout} if stabilization fails; the prepare record
+    stays registered and is resolved by the coordinator's decision (or
+    recovery). *)
 
 val resolve : t -> tx:Wal_record.txid -> commit:bool -> int option
 (** Commit or abort a prepared transaction. On commit the writes are applied
@@ -128,10 +144,18 @@ val resolve : t -> tx:Wal_record.txid -> commit:bool -> int option
 val prepared_txs : t -> Wal_record.txid list
 
 val clog_append : t -> Clog_record.record -> int
-(** Append coordinator 2PC state; returns the Clog counter value. *)
+(** Append coordinator 2PC state; returns the Clog counter value. With
+    [clog_group_commit] the record is merged into the current yield window
+    (blocking until the window flushes) and the returned counter is shared
+    by every record in the window. *)
 
-val clog_wait_stable : t -> counter:int -> unit
+val clog_wait_stable : t -> counter:int -> (unit, [ `Stability_timeout ]) result
 val clog_trim : t -> upto:int -> unit
+
+val wal_group_stats : t -> Group_commit.stats option
+val clog_group_stats : t -> Group_commit.stats option
+(** Batching efficiency of the WAL / Clog group commits ([None] when the
+    corresponding group commit is disabled). *)
 
 val log_last_counters : t -> (string * int) list
 (** (log name, last counter) for every live log — what the trusted counter

@@ -70,7 +70,13 @@ let quiescent_baseline () =
 let sweep_50_seeds () =
   let failures = ref [] in
   for seed = 1 to 50 do
-    match Chaos.run_seed ~seed () with
+    (* Alternate the commit-pipeline batching knob across the sweep so
+       crash/partition faults land inside batch windows on half the seeds
+       and on the unbatched path on the other half. *)
+    let config =
+      { Chaos.default_config with Chaos.batching = seed mod 2 = 0 }
+    in
+    match Chaos.run_seed ~config ~seed () with
     | Ok _ -> ()
     | Error m -> failures := (seed, m) :: !failures
   done;

@@ -95,6 +95,10 @@ let recovery_query_from_peers () =
       | Ok v -> Alcotest.failf "peers returned %d" v
       | Error `No_quorum -> Alcotest.fail "quorum")
 
+let expect_stable what = function
+  | Ok () -> ()
+  | Error `Stability_timeout -> Alcotest.failf "%s: stability timeout" what
+
 let client_batches_rounds () =
   with_group (fun sim group ->
       let _, r1 = List.hd group in
@@ -103,7 +107,7 @@ let client_batches_rounds () =
       for c = 1 to 50 do
         CC.submit cc ~log:"WAL" ~counter:c
       done;
-      CC.wait_stable cc ~log:"WAL" ~counter:50;
+      expect_stable "watermark" (CC.wait_stable cc ~log:"WAL" ~counter:50);
       Alcotest.(check int) "stable watermark" 50 (CC.stable_value cc ~log:"WAL");
       let rounds = (CC.stats cc).CC.rounds_started in
       Alcotest.(check bool)
@@ -111,7 +115,7 @@ let client_batches_rounds () =
         true (rounds <= 5);
       (* wait_stable below the watermark returns immediately. *)
       let t0 = Sim.now sim in
-      CC.wait_stable cc ~log:"WAL" ~counter:10;
+      expect_stable "below watermark" (CC.wait_stable cc ~log:"WAL" ~counter:10);
       Alcotest.(check int) "no wait below watermark" t0 (Sim.now sim))
 
 let client_wakes_waiters_in_order () =
@@ -121,12 +125,93 @@ let client_wakes_waiters_in_order () =
       let woken = ref [] in
       for c = 1 to 3 do
         Sim.spawn sim (fun () ->
-            CC.wait_stable cc ~log:"L" ~counter:c;
+            expect_stable "waiter" (CC.wait_stable cc ~log:"L" ~counter:c);
             woken := c :: !woken)
       done;
       Sim.sleep sim 100_000_000;
       Alcotest.(check int) "all waiters woken" 3 (List.length !woken);
       Alcotest.(check int) "watermark covers all" 3 (CC.stable_value cc ~log:"L"))
+
+let multi_log_epoch_rounds () =
+  (* The epoch pump drains every dirty log per round: submits spread over
+     three logs cost barely more rounds than one log, and each log's stable
+     watermark lands on its own highest submitted value. *)
+  with_group (fun _sim group ->
+      let _, r1 = List.hd group in
+      let cc = CC.create r1 ~owner:1 in
+      let logs = [ ("WAL", 30); ("MANIFEST", 7); ("Clog", 19) ] in
+      List.iter
+        (fun (log, hi) ->
+          for c = 1 to hi do
+            CC.submit cc ~log ~counter:c
+          done)
+        logs;
+      List.iter
+        (fun (log, hi) ->
+          expect_stable log (CC.wait_stable cc ~log ~counter:hi);
+          Alcotest.(check int)
+            (log ^ " watermark") hi
+            (CC.stable_value cc ~log))
+        logs;
+      let s = CC.stats cc in
+      Alcotest.(check bool)
+        (Printf.sprintf "cross-log batching (%d rounds)" s.CC.rounds_started)
+        true
+        (s.CC.rounds_started <= 5);
+      let rs = Rote.stats r1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "rounds carry multiple targets (%d targets / %d incs)"
+           rs.Rote.targets rs.Rote.increments)
+        true
+        (rs.Rote.targets > rs.Rote.increments))
+
+let per_log_knob_costs_more_rounds () =
+  (* batch_logs:false is the ablation: same submissions, one log per round. *)
+  with_group (fun _sim group ->
+      let _, r1 = List.hd group in
+      let batched = CC.create r1 ~owner:1 in
+      let unbatched = CC.create ~batch_logs:false r1 ~owner:2 in
+      let drive cc =
+        List.iter
+          (fun log ->
+            for c = 1 to 5 do
+              CC.submit cc ~log ~counter:c
+            done)
+          [ "WAL"; "MANIFEST"; "Clog" ];
+        List.iter
+          (fun log -> expect_stable log (CC.wait_stable cc ~log ~counter:5))
+          [ "WAL"; "MANIFEST"; "Clog" ]
+      in
+      drive batched;
+      drive unbatched;
+      let rb = (CC.stats batched).CC.rounds_started in
+      let ru = (CC.stats unbatched).CC.rounds_started in
+      Alcotest.(check bool)
+        (Printf.sprintf "epoch rounds (%d) < per-log rounds (%d)" rb ru)
+        true (rb < ru))
+
+let abandoned_round_fails_waiters () =
+  (* Quorum loss past the retry budget must fail pending waiters with
+     [`Stability_timeout], not strand their fibers forever. *)
+  with_group (fun sim group ->
+      let (_, r1), (rpc2, _), (rpc3, _) =
+        match group with [ a; b; c ] -> (a, b, c) | _ -> assert false
+      in
+      Erpc.shutdown rpc2;
+      Erpc.shutdown rpc3;
+      let cc = CC.create ~attempts:2 ~retry_backoff_ns:1_000_000 r1 ~owner:1 in
+      let outcome = ref `Pending in
+      Sim.spawn sim (fun () ->
+          match CC.wait_stable cc ~log:"WAL" ~counter:1 with
+          | Ok () -> outcome := `Stable
+          | Error `Stability_timeout -> outcome := `Failed);
+      Sim.sleep sim 500_000_000;
+      (match !outcome with
+      | `Failed -> ()
+      | `Stable -> Alcotest.fail "stabilized without a quorum"
+      | `Pending -> Alcotest.fail "waiter hung on the abandoned round");
+      Alcotest.(check int) "failure counted" 1 (CC.stats cc).CC.failed_waits;
+      Alcotest.(check int) "nothing stable" 0 (CC.stable_value cc ~log:"WAL"))
 
 let suite =
   [
@@ -137,4 +222,7 @@ let suite =
     Alcotest.test_case "recovery queries the group" `Quick recovery_query_from_peers;
     Alcotest.test_case "stabilization batches rounds" `Quick client_batches_rounds;
     Alcotest.test_case "waiters woken at watermark" `Quick client_wakes_waiters_in_order;
+    Alcotest.test_case "epoch rounds span all logs" `Quick multi_log_epoch_rounds;
+    Alcotest.test_case "per-log knob costs more rounds" `Quick per_log_knob_costs_more_rounds;
+    Alcotest.test_case "abandoned round fails waiters" `Quick abandoned_round_fails_waiters;
   ]

@@ -234,6 +234,48 @@ let rpc_handler_can_block () =
       | Some (_, Ok "fast") -> Alcotest.(check bool) "fast not stuck behind slow" true (Sim.now sim - t0 < 20_000_000)
       | _ -> Alcotest.fail "fast call")
 
+let rpc_burst_coalescing () =
+  (* With a doorbell window, concurrent sends to one destination ride a
+     single netsim packet; every message still gets its own reply. *)
+  let key = Aead.key_of_string "net" in
+  let sim = Sim.create () in
+  let net = Net.create sim Treaty_sim.Costmodel.default in
+  Sim.run sim (fun () ->
+      let mk node_id =
+        let enclave =
+          Enclave.create sim ~mode:Enclave.Scone
+            ~cost:Treaty_sim.Costmodel.default ~cores:4 ~node_id
+            ~code_identity:"rpc-test"
+        in
+        let pool = Treaty_memalloc.Mempool.create enclave in
+        Erpc.create sim ~net ~enclave ~pool
+          ~config:
+            {
+              (Erpc.default_config ~security:(Secure_msg.Secure key)) with
+              Erpc.burst_window_ns = 50_000;
+            }
+          ~node_id ()
+      in
+      let a = mk 1 and b = mk 2 in
+      Erpc.register b ~kind:1 (fun _ payload -> "r:" ^ payload);
+      let n = 8 in
+      let answered = ref 0 in
+      for i = 1 to n do
+        Sim.spawn sim (fun () ->
+            match Erpc.call a ~dst:2 ~kind:1 (Printf.sprintf "m%d" i) with
+            | Ok r when r = Printf.sprintf "r:m%d" i -> incr answered
+            | Ok r -> Alcotest.failf "wrong reply %S for m%d" r i
+            | Error _ -> Alcotest.fail "burst call failed")
+      done;
+      Sim.sleep sim 100_000_000;
+      Alcotest.(check int) "all calls answered" n !answered;
+      let sa = Erpc.stats a in
+      Alcotest.(check bool)
+        (Printf.sprintf "coalesced (%d pkts carry %d msgs)" sa.Erpc.bursts_sent
+           sa.Erpc.burst_msgs)
+        true
+        (sa.Erpc.bursts_sent < sa.Erpc.burst_msgs))
+
 let suite =
   [
     Alcotest.test_case "secure message roundtrip" `Quick secure_msg_roundtrip;
@@ -250,4 +292,5 @@ let suite =
     Alcotest.test_case "handler-forgotten tx leaves no dedup entry" `Quick
       rpc_dedup_freed_when_handler_forgets_tx;
     Alcotest.test_case "handlers run on fibers" `Quick rpc_handler_can_block;
+    Alcotest.test_case "burst window coalesces packets" `Quick rpc_burst_coalescing;
   ]

@@ -410,6 +410,12 @@ let codec_roundtrips () =
       Clog_record.Decision { tx_seq = 4; commit = true };
       Clog_record.Decision { tx_seq = 5; commit = false };
       Clog_record.Finished { tx_seq = 4 };
+      Clog_record.Batch
+        [
+          Clog_record.Begin_2pc { tx_seq = 6; participants = [ 2 ] };
+          Clog_record.Decision { tx_seq = 6; commit = true };
+          Clog_record.Batch [ Clog_record.Finished { tx_seq = 6 } ];
+        ];
     ]
   in
   List.iter
@@ -484,6 +490,75 @@ let group_commit_batching () =
       Alcotest.(check int) "all items in it" 6 (List.length (List.hd !batches));
       Alcotest.(check bool) "all got the same counter" true
         (List.for_all (fun (_, c) -> c = 1) !results))
+
+let clog_group_commit_batches () =
+  (* Concurrent Clog appends share authenticated appends and counter
+     submissions; every record still replays on recovery, tagged with its
+     batch's (monotone) counter. *)
+  with_sim (fun sim ->
+      let sec = mk_sec sim in
+      let ssd = Ssd.create sim Treaty_sim.Costmodel.default in
+      let cfg = { Engine.default_config with Engine.wait_commit_stable = false } in
+      let eng = Engine.create ssd sec cfg Engine.noop_stability in
+      let n = 24 in
+      let counters = Array.make n 0 in
+      let pending = ref n in
+      for i = 0 to n - 1 do
+        Sim.spawn sim (fun () ->
+            let c =
+              Engine.clog_append eng
+                (Clog_record.Decision { tx_seq = i; commit = i mod 2 = 0 })
+            in
+            counters.(i) <- c;
+            (match Engine.clog_wait_stable eng ~counter:c with
+            | Ok () -> ()
+            | Error `Stability_timeout -> Alcotest.fail "noop stability timed out");
+            decr pending)
+      done;
+      Sim.sleep sim 50_000_000;
+      Alcotest.(check int) "all appends returned" 0 !pending;
+      Alcotest.(check int) "appends counted" n (Engine.stats eng).Engine.clog_appends;
+      (match Engine.clog_group_stats eng with
+      | None -> Alcotest.fail "clog group commit off"
+      | Some gs ->
+          Alcotest.(check int) "every record flushed" n gs.Group_commit.items;
+          Alcotest.(check bool)
+            (Printf.sprintf "coalesced (%d batches for %d records)"
+               gs.Group_commit.batches n)
+            true
+            (gs.Group_commit.batches < n));
+      (* Counters are monotone: a later batch never gets a smaller value. *)
+      let sorted = Array.copy counters in
+      Array.sort compare sorted;
+      Alcotest.(check bool) "batch counters positive" true (sorted.(0) >= 1);
+      (* Crash and recover: the replay must surface all n decisions. *)
+      match
+        Engine.recover ssd (mk_sec sim) cfg Engine.noop_stability
+          ~trusted:(fun _ -> None)
+      with
+      | Error m -> Alcotest.failf "recovery failed: %s" m
+      | Ok (_, info) ->
+          let seen = Hashtbl.create n in
+          List.iter
+            (fun (c, r) ->
+              match r with
+              | Clog_record.Decision { tx_seq; commit } ->
+                  Hashtbl.replace seen tx_seq (commit, c)
+              | Clog_record.Batch _ ->
+                  Alcotest.fail "recovery leaked an unflattened batch"
+              | _ -> ())
+            info.Engine.clog_records;
+          for i = 0 to n - 1 do
+            match Hashtbl.find_opt seen i with
+            | None -> Alcotest.failf "decision %d lost in batching" i
+            | Some (commit, c) ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "decision %d intact" i)
+                  (i mod 2 = 0) commit;
+                Alcotest.(check int)
+                  (Printf.sprintf "decision %d counter" i)
+                  counters.(i) c
+          done)
 
 (* --- engine ------------------------------------------------------------ *)
 
@@ -733,6 +808,7 @@ let suite =
     Alcotest.test_case "record codecs" `Quick codec_roundtrips;
     Alcotest.test_case "manifest version fold" `Quick manifest_version_fold;
     Alcotest.test_case "group commit batching" `Quick group_commit_batching;
+    Alcotest.test_case "clog group commit + batched replay" `Quick clog_group_commit_batches;
     Alcotest.test_case "engine flush + compaction" `Slow engine_compaction_cascade;
     Alcotest.test_case "engine range scan" `Quick engine_scan;
     Alcotest.test_case "sstable range" `Quick sstable_range;
