@@ -34,11 +34,21 @@ let bootstrap sim config ?route () =
 
 (* --- run ---------------------------------------------------------------- *)
 
-let run_cmd profile no_batching nodes workload clients duration_ms warehouses
-    read_pct =
+let report_sanitizer cluster =
+  if (Cluster.config cluster).Config.profile.Config.sanitize then
+    match Cluster.sanitize_check cluster with
+    | Ok () -> Printf.printf "sanitizer: clean\n"
+    | Error m ->
+        Printf.printf "sanitizer: %s\n" m;
+        exit 1
+
+let run_cmd profile no_batching sanitize nodes workload clients duration_ms
+    warehouses read_pct =
   let profile =
     if no_batching then { profile with Config.batching = false } else profile
   in
+  let profile = if sanitize then { profile with Config.sanitize = true } else profile in
+  if sanitize then Treaty_util.Sanitizer.reset ();
   let sim = Sim.create () in
   Sim.run sim (fun () ->
       let config = mk_config profile nodes in
@@ -89,6 +99,7 @@ let run_cmd profile no_batching nodes workload clients duration_ms warehouses
           Printf.printf "%s\n" (W.Stats.summary r.W.Driver.stats ~duration_ns:r.W.Driver.duration_ns);
           Printf.printf "pipeline: %s\n"
             (Cluster.pipeline_stats_to_string (Cluster.pipeline_stats cluster));
+          report_sanitizer cluster;
           Cluster.shutdown cluster
       | "tpcc" ->
           let tpcc = W.Tpcc.config ~warehouses () in
@@ -108,6 +119,7 @@ let run_cmd profile no_batching nodes workload clients duration_ms warehouses
           Printf.printf "%s\n" (W.Stats.summary r.W.Driver.stats ~duration_ns:r.W.Driver.duration_ns);
           Printf.printf "pipeline: %s\n"
             (Cluster.pipeline_stats_to_string (Cluster.pipeline_stats cluster));
+          report_sanitizer cluster;
           Cluster.shutdown cluster
       | other ->
           Printf.eprintf "unknown workload %S (ycsb | tpcc)\n" other;
@@ -250,10 +262,17 @@ let no_batching_arg =
            ~doc:"Disable commit-pipeline batching (epoch stabilization, Clog \
                  group commit, RPC burst coalescing).")
 
+let sanitize_arg =
+  Arg.(value & flag
+       & info [ "sanitize" ]
+           ~doc:"Run under TreatySan: lockset tracking, the fiber-starvation \
+                 watchdog and plaintext-taint checks, with a verdict after \
+                 the run (non-zero exit on violations).")
+
 let run_term =
-  Term.(const run_cmd $ profile_arg $ no_batching_arg $ nodes_arg
-        $ workload_arg $ clients_arg $ duration_arg $ warehouses_arg
-        $ read_pct_arg)
+  Term.(const run_cmd $ profile_arg $ no_batching_arg $ sanitize_arg
+        $ nodes_arg $ workload_arg $ clients_arg $ duration_arg
+        $ warehouses_arg $ read_pct_arg)
 
 let cmds =
   [

@@ -46,7 +46,12 @@ let pp_report fmt r =
    and a decision-query timeout above the largest delay spike a schedule can
    inject (otherwise prepared participants could never hear a decision). *)
 let cluster_config cfg ~seed =
-  let profile = { Config.treaty_enc_stab with batching = cfg.batching } in
+  (* Chaos always runs under TreatySan: a schedule that leaks a lockset,
+     starves a fiber or spills plaintext should fail the seed even when the
+     user-visible invariants still hold. *)
+  let profile =
+    { Config.treaty_enc_stab with batching = cfg.batching; sanitize = true }
+  in
   {
     (Config.with_profile Config.default profile) with
     Config.nodes = cfg.nodes;
@@ -280,6 +285,11 @@ let check_invariants sim cluster cfg ~acked =
   (match Cluster.check_quiescent cluster with
   | Ok () -> ()
   | Error m -> failf "residual state leaked: %s" m);
+  (* TreatySan verdict: lock leaks, zombie acquisitions, starved fibers and
+     plaintext boundary crossings collected over the whole run. *)
+  (match Cluster.sanitize_check cluster with
+  | Ok () -> ()
+  | Error m -> failf "sanitizer violations: %s" m);
   (* Serializability of the whole committed history. *)
   match Cluster.history cluster with
   | None -> failf "history recording was off"
@@ -295,6 +305,8 @@ let run_seed ?(config = default_config) ~seed () =
     Schedule.generate ~seed ~nodes:cfg.nodes ~horizon_ns:cfg.horizon_ns
   in
   let sim = Sim.create ~seed:(Int64.of_int (0x7ea7_0000 lxor seed)) () in
+  (* The sanitizer collector is global: start each seed from a clean slate. *)
+  Treaty_util.Sanitizer.reset ();
   let result = ref (Error "chaos run did not finish") in
   (try
      Sim.run sim (fun () ->

@@ -75,11 +75,13 @@ let connect cluster ~client_id =
         Error `Auth_failed
       end
 
+exception Connect_failed of string
+
 let connect_exn cluster ~client_id =
   match connect cluster ~client_id with
   | Ok t -> t
-  | Error `Auth_failed -> failwith "client authentication failed"
-  | Error `Cas_down -> failwith "CAS down"
+  | Error `Auth_failed -> raise (Connect_failed "client authentication failed")
+  | Error `Cas_down -> raise (Connect_failed "CAS down")
 
 let pick_coord t =
   t.rr <- t.rr + 1;

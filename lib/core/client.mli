@@ -17,7 +17,11 @@ val connect :
 (** Obtain a token from the CAS and register with every node. Must run in a
     fiber. *)
 
+exception Connect_failed of string
+
 val connect_exn : Cluster.t -> client_id:int -> t
+(** Like {!connect}, but raises {!Connect_failed} with the reason — for
+    harness code that treats a failed connect as fatal. *)
 
 val client_id : t -> int
 

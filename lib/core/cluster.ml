@@ -204,7 +204,20 @@ let deps_of t ~node_id =
   }
 
 let create sim config ?route () =
-  let route = Option.value route ~default:(fun key -> Hashtbl.hash key) in
+  let route =
+    (* Deterministic by construction: Hashtbl.hash here would make key
+       routing a reproducibility hazard for seeded runs. *)
+    Option.value route ~default:Treaty_util.Fnv.hash
+  in
+  if config.Config.profile.sanitize then begin
+    Sim.enable_fiber_watchdog sim
+      ~threshold_ns:config.Config.sanitize_fiber_stall_ns
+      ~report:(fun detail ->
+        Treaty_util.Sanitizer.record Treaty_util.Sanitizer.Fiber_stall detail);
+    (* Plaintext taint only means something when sealing actually happens;
+       plain profiles move plaintext everywhere by design. *)
+    if config.Config.profile.encryption then Treaty_crypto.Taint.enable ()
+  end;
   let net = Net.create sim config.Config.cost in
   let master_secret =
     Printf.sprintf "cluster-master-%Ld" (Treaty_sim.Rng.next_int64 (Sim.rng sim))
@@ -306,6 +319,20 @@ let check_quiescent t =
   | [] -> Ok ()
   | l -> Error (String.concat "; " (List.rev l))
 
+let sanitize_check t =
+  (* Sweep every live node's lock table for residual holders, then judge
+     the run by the collected violations (warnings don't fail it). *)
+  Array.iter
+    (function
+      | Live n -> Lock_table.leak_check (Node.locks n)
+      | Crashed _ -> ())
+    t.nodes;
+  (* No final watchdog scan: fibers still parked at drain-out were abandoned
+     by design (see Sim.enable_fiber_watchdog); the periodic in-run scans
+     already caught genuine starvation. *)
+  let module San = Treaty_util.Sanitizer in
+  if San.violations () = 0 then Ok () else Error (San.report ())
+
 let crash_cas t =
   match t.cas with
   | Some cas ->
@@ -315,4 +342,5 @@ let crash_cas t =
 
 let shutdown t =
   Array.iter (function Live n -> Node.stop n | Crashed _ -> ()) t.nodes;
-  crash_cas t
+  crash_cas t;
+  if t.config.profile.sanitize then Treaty_crypto.Taint.disable ()

@@ -58,6 +58,13 @@ val check_quiescent : t -> (unit, string) result
     transactions. Call only after all traffic has stopped and sweeps/TTLs
     have had time to run. [Error] names the leaking nodes and counters. *)
 
+val sanitize_check : t -> (unit, string) result
+(** TreatySan end-of-run audit: sweep every live node's lock table for
+    residual holders ({!Lock_table.leak_check}) and fail if the
+    {!Treaty_util.Sanitizer} collector saw any violation (warnings such as
+    hold-and-wait timeouts do not fail the run). [Error] carries the
+    sanitizer report. *)
+
 val node_ssd : t -> int -> Treaty_storage.Ssd.t
 (** The node's persistent store — live or crashed — for adversary tests. *)
 

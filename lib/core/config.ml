@@ -6,6 +6,7 @@ type security_profile = {
   authentication : bool;
   stabilization : bool;
   batching : bool;
+  sanitize : bool;
 }
 
 let ds_rocksdb =
@@ -15,6 +16,7 @@ let ds_rocksdb =
     authentication = false;
     stabilization = false;
     batching = true;
+    sanitize = false;
   }
 
 let native_treaty =
@@ -24,6 +26,7 @@ let native_treaty =
     authentication = true;
     stabilization = false;
     batching = true;
+    sanitize = false;
   }
 
 let native_treaty_enc = { native_treaty with encryption = true }
@@ -35,6 +38,7 @@ let treaty_no_enc =
     authentication = true;
     stabilization = false;
     batching = true;
+    sanitize = false;
   }
 
 let treaty_enc = { treaty_no_enc with encryption = true }
@@ -42,6 +46,7 @@ let treaty_enc_stab = { treaty_enc with stabilization = true }
 
 let profile_name p =
   let unbatched = if p.batching then "" else " unbatched" in
+  let sanitized = if p.sanitize then " +san" else "" in
   (match (p.tee, p.encryption, p.authentication, p.stabilization) with
   | Enclave.Native, false, false, false -> "DS-RocksDB"
   | Enclave.Native, false, true, false -> "Native Treaty"
@@ -51,7 +56,7 @@ let profile_name p =
   | Enclave.Scone, true, true, true -> "Treaty w/ Enc w/ Stab"
   | Enclave.Native, _, _, _ -> "custom (native)"
   | Enclave.Scone, _, _, _ -> "custom (scone)")
-  ^ unbatched
+  ^ unbatched ^ sanitized
 
 type t = {
   profile : security_profile;
@@ -75,6 +80,7 @@ type t = {
   coord_tx_abandon_ns : int;
   dedup_ttl_ns : int;
   burst_window_ns : int;
+  sanitize_fiber_stall_ns : int;
   record_history : bool;
   naive_rpc_port : bool;
   seed : int64;
@@ -103,6 +109,7 @@ let default =
     coord_tx_abandon_ns = 3_000_000_000;
     dedup_ttl_ns = 2_000_000_000;
     burst_window_ns = 2_000;
+    sanitize_fiber_stall_ns = 10_000_000_000;
     record_history = false;
     naive_rpc_port = false;
     seed = 0xC0FFEEL;

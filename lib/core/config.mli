@@ -16,6 +16,12 @@ type security_profile = {
           and RPC burst coalescing. [false] reproduces the pre-pipeline
           behaviour — one counter round per log, one Clog append and one
           packet per record/message. *)
+  sanitize : bool;
+      (** TreatySan runtime sanitizer (off in every named profile): lockset
+          tracking in [Lock_table], the fiber-starvation watchdog, and —
+          when the profile also encrypts — plaintext-taint checks at the
+          netsim and host-storage boundaries. Findings land in
+          {!Treaty_util.Sanitizer}. *)
 }
 
 val ds_rocksdb : security_profile
@@ -72,6 +78,10 @@ type t = {
       (** Doorbell window for RPC burst coalescing on node endpoints
           (applied when the profile has [batching]; clients stay
           unbatched). *)
+  sanitize_fiber_stall_ns : int;
+      (** Watchdog threshold for the TreatySan fiber-starvation detector
+          (simulated time). Must sit above the longest legitimate wait in a
+          run — chaos crash-restart retry loops park fibers for seconds. *)
   record_history : bool;  (** Feed the serializability checker. *)
   naive_rpc_port : bool;
       (** Ablation: the unmodified eRPC-in-SCONE port — message buffers in

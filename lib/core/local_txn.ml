@@ -18,6 +18,7 @@ type t = {
 }
 
 let begin_ ~engine ~locks ~isolation ~tx =
+  Lock_table.txn_begin locks ~owner:tx;
   let snapshot = Engine.snapshot engine in
   Engine.retain_snapshot engine snapshot;
   {
@@ -202,7 +203,7 @@ let finish t =
   if not t.finished then begin
     t.finished <- true;
     Engine.release_snapshot t.engine t.snapshot;
-    Lock_table.release_all t.locks ~owner:t.txid;
+    Lock_table.txn_end t.locks ~owner:t.txid;
     Enclave.free_enclave
       (Treaty_storage.Sec.enclave (Engine.sec t.engine))
       t.buffer_bytes

@@ -1,5 +1,6 @@
 module Sim = Treaty_sim.Sim
 module Enclave = Treaty_tee.Enclave
+module Sanitizer = Treaty_util.Sanitizer
 
 type mode = Read | Write
 
@@ -22,6 +23,10 @@ type stats = {
   mutable upgrades : int;
 }
 
+(* Bound on the TreatySan ended-transaction memory: old entries can no
+   longer produce zombie acquisitions worth tracking. *)
+let max_ended = 4096
+
 type t = {
   sim : Sim.t;
   enclave : Enclave.t;
@@ -29,9 +34,12 @@ type t = {
   owner_keys : (Types.txid, string list ref) Hashtbl.t;
   timeout_ns : int;
   stats : stats;
+  sanitize : bool;
+  ended : (Types.txid, unit) Hashtbl.t;
+  ended_fifo : Types.txid Queue.t;
 }
 
-let create sim ~enclave ~shards ~timeout_ns =
+let create ?(sanitize = false) sim ~enclave ~shards ~timeout_ns =
   {
     sim;
     enclave;
@@ -39,11 +47,14 @@ let create sim ~enclave ~shards ~timeout_ns =
     owner_keys = Hashtbl.create 64;
     timeout_ns;
     stats = { acquisitions = 0; waits = 0; timeouts = 0; upgrades = 0 };
+    sanitize;
+    ended = Hashtbl.create 64;
+    ended_fifo = Queue.create ();
   }
 
 let stats t = t.stats
 
-let shard t key = t.shards.(Hashtbl.hash key mod Array.length t.shards)
+let shard t key = t.shards.(Treaty_util.Fnv.hash key mod Array.length t.shards)
 
 let lock_of t key =
   let tbl = shard t key in
@@ -101,9 +112,14 @@ let rec promote_waiters t key l =
         end
       end
 
+let txid_str (o : Types.txid) = Printf.sprintf "tx(%d,%d)" o.coord o.seq
+
 let acquire t ~owner ~key mode =
   t.stats.acquisitions <- t.stats.acquisitions + 1;
   Enclave.compute t.enclave 150;
+  if t.sanitize && Hashtbl.mem t.ended owner then
+    Sanitizer.record Sanitizer.Lock_zombie
+      (Printf.sprintf "%s acquired %S after its txn_end" (txid_str owner) key);
   let l = lock_of t key in
   if compatible l ~owner ~mode then begin
     if mode = Write && List.mem owner l.readers then t.stats.upgrades <- t.stats.upgrades + 1;
@@ -113,6 +129,13 @@ let acquire t ~owner ~key mode =
   end
   else begin
     t.stats.waits <- t.stats.waits + 1;
+    let held_before =
+      if t.sanitize then
+        match Hashtbl.find_opt t.owner_keys owner with
+        | Some keys -> List.length !keys
+        | None -> 0
+      else 0
+    in
     let w = { wowner = owner; wmode = mode; granted = Sim.ivar () } in
     l.waiters <- l.waiters @ [ w ];
     match Sim.read_timeout t.sim ~ns:t.timeout_ns w.granted with
@@ -122,6 +145,13 @@ let acquire t ~owner ~key mode =
         l.waiters <- List.filter (fun w' -> w' != w) l.waiters;
         (* Mark the ivar so a late promotion sees the timeout. *)
         ignore (Sim.try_fill w.granted ());
+        if t.sanitize && held_before > 0 then
+          (* Hold-and-wait that ran out the clock: the deadlock-suspect
+             pattern, resolved by timeout as §V-B intends — a warning. *)
+          Sanitizer.record Sanitizer.Lock_conflict
+            (Printf.sprintf
+               "%s timed out on %S while holding %d other lock(s) across the wait"
+               (txid_str owner) key held_before);
         Error `Timeout
   end
 
@@ -142,6 +172,32 @@ let release_all t ~owner =
               if l.writer = None && l.readers = [] && l.waiters = [] then
                 Hashtbl.remove tbl key)
         !keys
+
+let txn_begin t ~owner =
+  (* A late-delivered op may legitimately re-open the same txid after an
+     abort (the participant builds a fresh context); only acquisitions
+     between a txn_end and the next txn_begin are zombies. *)
+  if t.sanitize then Hashtbl.remove t.ended owner
+
+let txn_end t ~owner =
+  release_all t ~owner;
+  if t.sanitize && not (Hashtbl.mem t.ended owner) then begin
+    Hashtbl.replace t.ended owner ();
+    Queue.push owner t.ended_fifo;
+    while Queue.length t.ended_fifo > max_ended do
+      Hashtbl.remove t.ended (Queue.pop t.ended_fifo)
+    done
+  end
+
+let leak_check t =
+  if t.sanitize then
+    Hashtbl.iter
+      (fun owner keys ->
+        Sanitizer.record Sanitizer.Lock_leak
+          (Printf.sprintf "%s still holds %d lock(s) (e.g. %S)" (txid_str owner)
+             (List.length !keys)
+             (match !keys with k :: _ -> k | [] -> "")))
+      t.owner_keys
 
 let holds t ~owner ~key mode =
   let tbl = shard t key in

@@ -17,11 +17,14 @@ type stats = {
 }
 
 val create :
+  ?sanitize:bool ->
   Treaty_sim.Sim.t ->
   enclave:Treaty_tee.Enclave.t ->
   shards:int ->
   timeout_ns:int ->
   t
+(** [sanitize] (default off) enables the TreatySan lockset tracker: see
+    {!txn_begin}, {!txn_end} and {!leak_check}. *)
 
 val stats : t -> stats
 
@@ -31,6 +34,19 @@ val acquire :
 
 val release_all : t -> owner:Types.txid -> unit
 (** Drop every lock the owner holds and hand them to waiters. *)
+
+val txn_begin : t -> owner:Types.txid -> unit
+(** Mark the owner live again: acquisitions are legitimate until its next
+    {!txn_end}. No-op unless sanitizing. *)
+
+val txn_end : t -> owner:Types.txid -> unit
+(** {!release_all} plus, when sanitizing, remember the owner as ended so a
+    later acquisition under the same txid is reported as a zombie
+    ([Treaty_util.Sanitizer.Lock_zombie]). *)
+
+val leak_check : t -> unit
+(** Report every owner still holding locks as a
+    [Treaty_util.Sanitizer.Lock_leak]. Call at expected quiescence. *)
 
 val holds : t -> owner:Types.txid -> key:string -> mode -> bool
 val locked_keys : t -> int

@@ -160,10 +160,26 @@ let decode_op r =
 let op_key = function Cget k | Cput (k, _) | Cdel k -> k
 let op_is_write = function Cget _ -> false | Cput _ | Cdel _ -> true
 
-(* Op replies: status 0 = ok, 1 = lock timeout, 2 = unknown tx, 3 = unauth. *)
+(* Op reply status byte. Every reply decode matches the full variant so a
+   new status can't be silently swallowed by a wildcard arm. *)
+type op_status = St_ok | St_lock_timeout | St_unknown_tx | St_unauth
+
+let status_code = function
+  | St_ok -> 0
+  | St_lock_timeout -> 1
+  | St_unknown_tx -> 2
+  | St_unauth -> 3
+
+let status_of_code = function
+  | 0 -> Some St_ok
+  | 1 -> Some St_lock_timeout
+  | 2 -> Some St_unknown_tx
+  | 3 -> Some St_unauth
+  | _unknown -> None
+
 let ok_value_reply value seq =
   let b = Buffer.create 32 in
-  Wire.w8 b 0;
+  Wire.w8 b (status_code St_ok);
   (match value with
   | Some v ->
       Wire.w8 b 1;
@@ -174,7 +190,7 @@ let ok_value_reply value seq =
 
 let status_reply s =
   let b = Buffer.create 1 in
-  Wire.w8 b s;
+  Wire.w8 b (status_code s);
   Buffer.contents b
 
 (* --- local transaction plumbing --------------------------------------- *)
@@ -243,12 +259,12 @@ let part_ctx t ~coord ~tx_seq =
 let handle_txn_op t (meta : Secure_msg.meta) payload =
   t.stats.remote_ops_served <- t.stats.remote_ops_served + 1;
   match decode_op (Wire.reader payload) with
-  | exception Wire.Malformed _ -> status_reply 2
+  | exception Wire.Malformed _ -> status_reply St_unknown_tx
   | op -> (
       let ctx = part_ctx t ~coord:meta.coord ~tx_seq:meta.tx_seq in
       match exec_local ctx op with
       | Ok (value, seq) -> ok_value_reply value seq
-      | Error `Timeout -> status_reply 1)
+      | Error `Timeout -> status_reply St_lock_timeout)
 
 let encode_scan_reply kvs =
   let b = Buffer.create 256 in
@@ -274,12 +290,12 @@ let handle_txn_scan t (meta : Secure_msg.meta) payload =
     let hi = Wire.rstr r in
     (lo, hi)
   with
-  | exception Wire.Malformed _ -> status_reply 2
+  | exception Wire.Malformed _ -> status_reply St_unknown_tx
   | lo, hi -> (
       let ctx = part_ctx t ~coord:meta.coord ~tx_seq:meta.tx_seq in
       match Local_txn.scan ctx ~lo ~hi with
       | Ok kvs -> encode_scan_reply kvs
-      | Error `Timeout -> status_reply 1)
+      | Error `Timeout -> status_reply St_lock_timeout)
 
 let finish_participant t ~coord ~tx_seq =
   (match Hashtbl.find_opt t.part_txs (coord, tx_seq) with
@@ -288,15 +304,15 @@ let finish_participant t ~coord ~tx_seq =
       Hashtbl.remove t.part_txs (coord, tx_seq)
   | None ->
       (* Recovered prepared txs hold locks under their txid without a ctx. *)
-      Lock_table.release_all t.locks ~owner:{ Types.coord; seq = tx_seq });
+      Lock_table.txn_end t.locks ~owner:{ Types.coord; seq = tx_seq });
   Erpc.forget_tx t.rpc ~coord ~tx_seq
 
 let handle_prepare t (meta : Secure_msg.meta) _payload =
   match Hashtbl.find_opt t.part_txs (meta.coord, meta.tx_seq) with
-  | None -> status_reply 2
+  | None -> status_reply St_unknown_tx
   | Some (ctx, _) -> (
       match Local_txn.prepare ctx with
-      | Error (`Conflict | `Timeout) -> status_reply 1
+      | Error (`Conflict | `Timeout) -> status_reply St_lock_timeout
       | Ok () -> (
           let writes = Local_txn.writes ctx in
           match
@@ -307,11 +323,11 @@ let handle_prepare t (meta : Secure_msg.meta) _payload =
               (* The prepare entry is durable but not rollback-protected, so
                  §V forbids the ACK; vote FAIL and let the coordinator's
                  abort (or recovery) clean up the registered prepare. *)
-              status_reply 1
+              status_reply St_lock_timeout
           | () ->
               (* ACK carries the read versions for the coordinator's history. *)
               let b = Buffer.create 64 in
-              Wire.w8 b 0;
+              Wire.w8 b (status_code St_ok);
               Wire.wlist b
                 (fun b (k, s) ->
                   Wire.wstr b k;
@@ -323,14 +339,14 @@ let handle_commit t (meta : Secure_msg.meta) _payload =
   let installed = Engine.resolve t.engine ~tx:(meta.coord, meta.tx_seq) ~commit:true in
   finish_participant t ~coord:meta.coord ~tx_seq:meta.tx_seq;
   let b = Buffer.create 16 in
-  Wire.w8 b 0;
+  Wire.w8 b (status_code St_ok);
   Wire.w64 b (Option.value ~default:0 installed);
   Buffer.contents b
 
 let handle_abort t (meta : Secure_msg.meta) _payload =
   ignore (Engine.resolve t.engine ~tx:(meta.coord, meta.tx_seq) ~commit:false);
   finish_participant t ~coord:meta.coord ~tx_seq:meta.tx_seq;
-  status_reply 0
+  status_reply St_ok
 
 let handle_query_decision t _meta payload =
   t.stats.decisions_queried <- t.stats.decisions_queried + 1;
@@ -375,9 +391,9 @@ let abort_tx t ctx =
 let handle_client_begin t _meta payload =
   let r = Wire.reader payload in
   match Wire.r64 r with
-  | exception Wire.Malformed _ -> status_reply 3
+  | exception Wire.Malformed _ -> status_reply St_unauth
   | client_id ->
-      if not (Hashtbl.mem t.clients client_id) then status_reply 3
+      if not (Hashtbl.mem t.clients client_id) then status_reply St_unauth
       else begin
         let seq = alloc_tx_seq t in
         let ctx =
@@ -393,7 +409,7 @@ let handle_client_begin t _meta payload =
         in
         Hashtbl.replace t.coord_txs seq ctx;
         let b = Buffer.create 16 in
-        Wire.w8 b 0;
+        Wire.w8 b (status_code St_ok);
         Wire.w64 b seq;
         Buffer.contents b
       end
@@ -419,9 +435,9 @@ let forward_op t ctx ~owner op =
   | Error (`Timeout | `Tampered) -> Error `Participant
   | Ok reply -> (
       let r = Wire.reader reply in
-      match Wire.r8 r with
+      match status_of_code (Wire.r8 r) with
       | exception Wire.Malformed _ -> Error `Participant
-      | 0 ->
+      | Some St_ok ->
           let slice = remote_slice ctx owner in
           let value =
             if Wire.r8 r = 1 then Some (Wire.rstr r) else None
@@ -431,8 +447,8 @@ let forward_op t ctx ~owner op =
              read_set; only the write-key routing is tracked per op. *)
           if op_is_write op then slice.r_written <- op_key op :: slice.r_written;
           Ok value
-      | 1 -> Error `Lock_timeout
-      | _ -> Error `Participant)
+      | Some St_lock_timeout -> Error `Lock_timeout
+      | Some (St_unknown_tx | St_unauth) | None -> Error `Participant)
 
 let handle_client_op t _meta payload =
   let r = Wire.reader payload in
@@ -442,10 +458,10 @@ let handle_client_op t _meta payload =
     let op = decode_op r in
     (tx_seq, op)
   with
-  | exception Wire.Malformed _ -> status_reply 2
+  | exception Wire.Malformed _ -> status_reply St_unknown_tx
   | tx_seq, op -> (
       match Hashtbl.find_opt t.coord_txs tx_seq with
-      | None -> status_reply 2
+      | None -> status_reply St_unknown_tx
       | Some ctx -> (
           let owner = t.deps.route (op_key op) in
           let result =
@@ -460,7 +476,7 @@ let handle_client_op t _meta payload =
           | Error (`Lock_timeout | `Participant) ->
               (* Failed op: the coordinator aborts the whole transaction. *)
               abort_tx t ctx;
-              status_reply 1))
+              status_reply St_lock_timeout))
 
 let handle_client_scan t _meta payload =
   let r = Wire.reader payload in
@@ -471,10 +487,10 @@ let handle_client_scan t _meta payload =
     let hi = Wire.rstr r in
     (tx_seq, lo, hi)
   with
-  | exception Wire.Malformed _ -> status_reply 2
+  | exception Wire.Malformed _ -> status_reply St_unknown_tx
   | tx_seq, lo, hi -> (
       match Hashtbl.find_opt t.coord_txs tx_seq with
-      | None -> status_reply 2
+      | None -> status_reply St_unknown_tx
       | Some ctx -> (
           (* A range may span every shard: scan the local slice and fan the
              request out to all peers as participants of this transaction. *)
@@ -499,9 +515,9 @@ let handle_client_scan t _meta payload =
                   | Error (`Timeout | `Tampered) -> failed := true
                   | Ok reply -> (
                       let r = Wire.reader reply in
-                      match Wire.r8 r with
+                      match status_of_code (Wire.r8 r) with
                       | exception Wire.Malformed _ -> failed := true
-                      | 0 -> (
+                      | Some St_ok -> (
                           (* Read versions reach the history via the
                              participant's prepare-ACK read set; only the
                              data comes back here. Touching the slice also
@@ -511,7 +527,9 @@ let handle_client_scan t _meta payload =
                               Hashtbl.replace results node kvs;
                               ignore (remote_slice ctx node)
                           | exception Wire.Malformed _ -> failed := true)
-                      | _ -> failed := true));
+                      | Some (St_lock_timeout | St_unknown_tx | St_unauth)
+                      | None ->
+                          failed := true));
                   Latch.arrive latch))
             remotes;
           let local = Local_txn.scan ctx.ct_local ~lo ~hi in
@@ -519,7 +537,7 @@ let handle_client_scan t _meta payload =
           match (local, !failed) with
           | Error `Timeout, _ | _, true ->
               abort_tx t ctx;
-              status_reply 1
+              status_reply St_lock_timeout
           | Ok local_kvs, false ->
               let all =
                 Hashtbl.fold (fun _ kvs acc -> kvs @ acc) results local_kvs
@@ -549,9 +567,9 @@ let commit_distributed t ctx =
             | Error (`Timeout | `Tampered) -> false
             | Ok reply -> (
                 let r = Wire.reader reply in
-                match Wire.r8 r with
+                match status_of_code (Wire.r8 r) with
                 | exception Wire.Malformed _ -> false
-                | 0 ->
+                | Some St_ok ->
                     (* Pick up the participant's read versions for history. *)
                     (try
                        let reads =
@@ -564,7 +582,8 @@ let commit_distributed t ctx =
                        slice.r_reads <- reads @ slice.r_reads
                      with Wire.Malformed _ -> ());
                     true
-                | _ -> false)
+                | Some (St_lock_timeout | St_unknown_tx | St_unauth) | None ->
+                    false)
           in
           Hashtbl.replace results node ok;
           Latch.arrive latch))
@@ -693,10 +712,10 @@ let handle_client_commit t _meta payload =
     let _client = Wire.r64 r in
     Wire.r64 r
   with
-  | exception Wire.Malformed _ -> status_reply 2
+  | exception Wire.Malformed _ -> status_reply St_unknown_tx
   | tx_seq -> (
       match Hashtbl.find_opt t.coord_txs tx_seq with
-      | None -> status_reply 2
+      | None -> status_reply St_unknown_tx
       | Some ctx -> (
           ctx.ct_committing <- true;
           let result =
@@ -704,7 +723,7 @@ let handle_client_commit t _meta payload =
             else commit_distributed t ctx
           in
           match result with
-          | Ok () -> status_reply 0
+          | Ok () -> status_reply St_ok
           | Error reason ->
               let b = Buffer.create 2 in
               Wire.w8 b 1;
@@ -713,8 +732,10 @@ let handle_client_commit t _meta payload =
                 | Types.Lock_timeout -> 0
                 | Types.Validation_failed -> 1
                 | Types.Participant_failed -> 2
-                | Types.Stabilization_unavailable -> 4
-                | _ -> 3);
+                | Types.Integrity | Types.Rolled_back | Types.Unauthenticated
+                  ->
+                    3
+                | Types.Stabilization_unavailable -> 4);
               Buffer.contents b))
 
 let handle_client_abort t _meta payload =
@@ -723,17 +744,16 @@ let handle_client_abort t _meta payload =
     let _client = Wire.r64 r in
     Wire.r64 r
   with
-  | exception Wire.Malformed _ -> status_reply 2
+  | exception Wire.Malformed _ -> status_reply St_unknown_tx
   | tx_seq -> (
       match Hashtbl.find_opt t.coord_txs tx_seq with
-      | None -> status_reply 0 (* already gone *)
+      | None -> status_reply St_ok (* already gone *)
       | Some ctx ->
           abort_tx t ctx;
-          status_reply 0)
+          status_reply St_ok)
 
 let authenticate_client t ~client_id ~token =
-  let expected = Keys.client_token t.deps.master ~client_id in
-  let ok = Treaty_crypto.Hmac.equal_tags expected token in
+  let ok = Keys.verify_client_token t.deps.master ~client_id ~token in
   if ok then Hashtbl.replace t.clients client_id ();
   ok
 
@@ -744,10 +764,10 @@ let handle_client_register t _meta payload =
     let token = Wire.rstr r in
     (client_id, token)
   with
-  | exception Wire.Malformed _ -> status_reply 3
+  | exception Wire.Malformed _ -> status_reply St_unauth
   | client_id, token ->
-      if authenticate_client t ~client_id ~token then status_reply 0
-      else status_reply 3
+      if authenticate_client t ~client_id ~token then status_reply St_ok
+      else status_reply St_unauth
 
 (* --- assembly ----------------------------------------------------------- *)
 
@@ -886,8 +906,8 @@ let build_parts (deps : deps) ssd =
       ()
   in
   let locks =
-    Lock_table.create deps.sim ~enclave ~shards:cfg.lock_shards
-      ~timeout_ns:cfg.lock_timeout_ns
+    Lock_table.create ~sanitize:cfg.profile.sanitize deps.sim ~enclave
+      ~shards:cfg.lock_shards ~timeout_ns:cfg.lock_timeout_ns
   in
   (* The replica's sealed counter table lives on the node's own SSD so a
      crashed node resumes from its latest confirmed counters even when its

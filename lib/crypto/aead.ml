@@ -25,6 +25,7 @@ let tag key ~iv ~aad ct =
 
 let seal key ~iv ?(aad = "") pt =
   if String.length iv <> iv_size then invalid_arg "Aead.seal: iv size";
+  Taint.register pt;
   let ct = Chacha20.xor ~key:key.enc ~nonce:iv pt in
   (ct, tag key ~iv ~aad ct)
 

@@ -13,3 +13,6 @@ let sealing_key m ~node_id =
   Aead.key_of_string (derive m (Printf.sprintf "seal:%d" node_id))
 
 let client_token m ~client_id = derive m (Printf.sprintf "client:%d" client_id)
+
+let verify_client_token m ~client_id ~token =
+  Hmac.equal_tags (client_token m ~client_id) token

@@ -26,3 +26,7 @@ val sealing_key : master -> node_id:int -> Aead.key
 
 val client_token : master -> client_id:int -> string
 (** Authentication token the CAS hands to a registered client. *)
+
+val verify_client_token : master -> client_id:int -> token:string -> bool
+(** Timing-safe check of a presented client token, so callers outside the
+    crypto zone never touch the HMAC primitives directly. *)

@@ -113,6 +113,11 @@ let inject t pkt ~interpose =
         transit t { pkt with id = (t.next_packet_id <- t.next_packet_id + 1; t.next_packet_id) }
 
 let send t ~src ~dst ?(wire_overhead = 64) payload =
+  (* TreatySan boundary: the fabric is untrusted memory, so no buffer that
+     entered Aead.seal as plaintext may be handed to it. *)
+  Treaty_crypto.Taint.check
+    ~what:(Printf.sprintf "net send %d->%d" src dst)
+    payload;
   t.next_packet_id <- t.next_packet_id + 1;
   let pkt =
     {

@@ -1,15 +1,66 @@
+type watchdog = {
+  wd_now : unit -> int;
+  wd_threshold : int;
+  wd_report : string -> unit;
+}
+
 type t = {
   runq : (unit -> unit) Queue.t;
   mutable live : int;
+  mutable next_fiber : int;
+  mutable watchdog : watchdog option;
+  (* fiber id -> (label, suspended-at) for parked fibers, maintained only
+     while a watchdog is installed. *)
+  suspended : (int, string * int) Hashtbl.t;
+  flagged : (int, unit) Hashtbl.t;
 }
 
 type _ Effect.t +=
   | Yield : t -> unit Effect.t
   | Suspend : t * ((unit -> unit) -> unit) -> unit Effect.t
 
-let create () = { runq = Queue.create (); live = 0 }
+let create () =
+  {
+    runq = Queue.create ();
+    live = 0;
+    next_fiber = 0;
+    watchdog = None;
+    suspended = Hashtbl.create 32;
+    flagged = Hashtbl.create 8;
+  }
 
-let handler t =
+let set_watchdog t ~now ~threshold ~report =
+  t.watchdog <- Some { wd_now = now; wd_threshold = threshold; wd_report = report }
+
+let track_suspend t id label =
+  match t.watchdog with
+  | None -> ()
+  | Some wd -> Hashtbl.replace t.suspended id (label, wd.wd_now ())
+
+let track_resume t id =
+  if t.watchdog <> None then begin
+    Hashtbl.remove t.suspended id;
+    Hashtbl.remove t.flagged id
+  end
+
+let watchdog_scan t =
+  match t.watchdog with
+  | None -> ()
+  | Some wd ->
+      let now = wd.wd_now () in
+      Hashtbl.iter
+        (fun id (label, since) ->
+          if now - since > wd.wd_threshold && not (Hashtbl.mem t.flagged id) then begin
+            Hashtbl.replace t.flagged id ();
+            wd.wd_report
+              (Printf.sprintf "fiber #%d%s suspended for %dns (threshold %dns)"
+                 id
+                 (if label = "" then "" else " [" ^ label ^ "]")
+                 (now - since) wd.wd_threshold)
+          end)
+        t.suspended
+
+let handler t ~id ~label =
   let open Effect.Deep in
   {
     retc = (fun () -> t.live <- t.live - 1);
@@ -24,13 +75,18 @@ let handler t =
         | Suspend (_, register) ->
             Some
               (fun (k : (a, unit) continuation) ->
-                register (fun () -> Queue.push (fun () -> continue k ()) t.runq))
+                track_suspend t id label;
+                register (fun () ->
+                    track_resume t id;
+                    Queue.push (fun () -> continue k ()) t.runq))
         | _ -> None);
   }
 
-let spawn t f =
+let spawn ?(label = "") t f =
   t.live <- t.live + 1;
-  Queue.push (fun () -> Effect.Deep.match_with f () (handler t)) t.runq
+  t.next_fiber <- t.next_fiber + 1;
+  let id = t.next_fiber in
+  Queue.push (fun () -> Effect.Deep.match_with f () (handler t ~id ~label)) t.runq
 
 let yield t = Effect.perform (Yield t)
 let suspend t register = Effect.perform (Suspend (t, register))
@@ -74,7 +130,10 @@ module Ivar = struct
         suspend sched (fun waker -> on_fill iv (fun _ -> waker ()));
         (match iv.st with
         | Full v -> v
-        | Empty _ -> assert false)
+        | Empty _ ->
+            (* The waker only fires from on_fill, which runs after the ivar
+               transitioned to Full; an Empty here is unreachable. *)
+            assert false)
 end
 
 module Latch = struct

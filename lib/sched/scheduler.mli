@@ -16,9 +16,22 @@ type t
 
 val create : unit -> t
 
-val spawn : t -> (unit -> unit) -> unit
+val spawn : ?label:string -> t -> (unit -> unit) -> unit
 (** [spawn t f] enqueues a new fiber running [f]. Exceptions escaping [f] are
-    re-raised out of the scheduler loop. *)
+    re-raised out of the scheduler loop. [label] names the fiber in watchdog
+    reports. *)
+
+val set_watchdog :
+  t -> now:(unit -> int) -> threshold:int -> report:(string -> unit) -> unit
+(** TreatySan starvation detector: track every suspended fiber and, on each
+    {!watchdog_scan}, report (once per parking) any fiber parked longer than
+    [threshold] ticks of the caller-supplied clock. The scheduler has no
+    clock of its own, so [now] is injected — the simulator passes its
+    event-queue clock. *)
+
+val watchdog_scan : t -> unit
+(** Report fibers suspended beyond the watchdog threshold. No-op when no
+    watchdog is installed. *)
 
 val yield : t -> unit
 (** Re-enqueue the current fiber at the back of the run queue and run others.

@@ -5,6 +5,8 @@ type t = {
   events : Eventq.t;
   mutable clock : int;
   root_rng : Rng.t;
+  mutable watchdog_every : int;  (** 0 = fiber watchdog off *)
+  mutable watchdog_last_scan : int;
 }
 
 let create ?(seed = 0x7E47E47E4L) () =
@@ -13,7 +15,16 @@ let create ?(seed = 0x7E47E47E4L) () =
     events = Eventq.create ();
     clock = 0;
     root_rng = Rng.create seed;
+    watchdog_every = 0;
+    watchdog_last_scan = 0;
   }
+
+let enable_fiber_watchdog t ~threshold_ns ~report =
+  Scheduler.set_watchdog t.scheduler
+    ~now:(fun () -> t.clock)
+    ~threshold:threshold_ns ~report;
+  t.watchdog_every <- max 1_000_000 (threshold_ns / 4);
+  t.watchdog_last_scan <- t.clock
 
 let now t = t.clock
 let rng t = t.root_rng
@@ -37,6 +48,11 @@ let run t main =
   spawn t main;
   let rec loop () =
     Scheduler.run_pending t.scheduler;
+    if t.watchdog_every > 0 && t.clock - t.watchdog_last_scan >= t.watchdog_every
+    then begin
+      t.watchdog_last_scan <- t.clock;
+      Scheduler.watchdog_scan t.scheduler
+    end;
     match Eventq.pop t.events with
     | Some (time, fn) ->
         if time > t.clock then t.clock <- time;

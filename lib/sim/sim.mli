@@ -18,6 +18,13 @@ val rng : t -> Rng.t
 
 val sched : t -> Treaty_sched.Scheduler.t
 
+val enable_fiber_watchdog :
+  t -> threshold_ns:int -> report:(string -> unit) -> unit
+(** TreatySan starvation detector: periodically (between event firings)
+    report fibers that have been suspended longer than [threshold_ns] of
+    simulated time. Fibers still parked when the run drains to quiescence
+    are abandoned by design and are not reported. *)
+
 val spawn : t -> (unit -> unit) -> unit
 val yield : t -> unit
 

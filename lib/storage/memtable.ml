@@ -52,6 +52,11 @@ let add t ~key ~seq op =
   (* Values headed for untrusted host memory are protected; in the
      all-in-enclave ablation they stay plaintext inside the EPC. *)
   let stored = if t.values_in_enclave then plain else Sec.protect t.sec plain in
+  (* TreatySan boundary: in the default layout this buffer lands in
+     untrusted host memory (in the all-in-enclave ablation it stays in the
+     EPC, so plaintext there is fine). *)
+  if not t.values_in_enclave then
+    Treaty_crypto.Taint.check ~what:"memtable host write" stored;
   let vhash = Sec.digest t.sec stored in
   let slot = Buffer.length t.host in
   Buffer.add_string t.host stored;

@@ -102,6 +102,8 @@ let build ssd sec ~file_id ~block_bytes entries =
     (fun block_entries ->
       let plain = encode_block block_entries in
       let stored = Sec.protect sec plain in
+      (* TreatySan boundary: SSTable blocks go to the untrusted SSD. *)
+      Treaty_crypto.Taint.check ~what:("sstable block write " ^ name) stored;
       let bhash = Sec.digest sec stored in
       let first_key = (fun (k, _, _) -> k) (List.hd block_entries) in
       let last_key =

@@ -1,0 +1,9 @@
+(** Deterministic FNV-1a string hash.
+
+    [Hashtbl.hash] is seeded per-process in some configurations and its
+    output is not specified across compiler versions, so any use of it on
+    keyed data (shard selection, routing) is a reproducibility hazard for
+    the deterministic simulator. This hash is fixed by construction and
+    always non-negative. *)
+
+val hash : string -> int

@@ -106,10 +106,13 @@ let last_name_of i =
   (* Standard TPC-C syllable construction. *)
   last_names.(i / 100 mod 10) ^ last_names.(i / 10 mod 10) ^ last_names.(i mod 10)
 
+exception Load_failure of string
+
 let put_exn client txn key value =
   match Client.put client txn key value with
   | Ok () -> ()
-  | Error e -> failwith ("tpcc load put failed: " ^ Types.abort_reason_to_string e)
+  | Error e ->
+      raise (Load_failure ("tpcc load put failed: " ^ Types.abort_reason_to_string e))
 
 let load config client rng =
   let commit_batch puts =
@@ -132,7 +135,9 @@ let load config client rng =
            with
           | Ok () -> ()
           | Error e ->
-              failwith ("tpcc load commit failed: " ^ Types.abort_reason_to_string e));
+              raise
+                (Load_failure
+                   ("tpcc load commit failed: " ^ Types.abort_reason_to_string e)));
           chunks rest
     in
     chunks puts

@@ -42,9 +42,14 @@ val route : config -> nodes:int -> string -> int
 val home_node : config -> nodes:int -> warehouse:int -> int
 (** Node index of a warehouse (to pin a client's coordinator). *)
 
+exception Load_failure of string
+(** Raised by {!load} when a populate transaction aborts — the database is
+    not in a usable state and the harness should stop. *)
+
 val load : config -> Treaty_core.Client.t -> Treaty_sim.Rng.t -> unit
 (** Populate the database (run once, before measuring). Uses one loader
-    client; idempotent. *)
+    client; idempotent. Raises {!Load_failure} if a load transaction
+    aborts. *)
 
 type txn_kind = New_order | Payment | Order_status | Delivery | Stock_level
 

@@ -12,6 +12,7 @@ let () =
       ("cas", Test_cas.suite);
       ("core", Test_core.suite);
       ("durability", Test_durability.suite);
+      ("sanitizer", Test_sanitizer.suite);
       ("chaos", Test_chaos.suite);
       ("workload", Test_workload.suite);
     ]
