@@ -12,10 +12,10 @@ module Enclave = Treaty_tee.Enclave
 
 let profiles =
   [
-    ("Native 2PC", { Config.tee = Enclave.Native; encryption = false; authentication = false; stabilization = false; batching = true; sanitize = false });
-    ("Native w/ Enc", { Config.tee = Enclave.Native; encryption = true; authentication = false; stabilization = false; batching = true; sanitize = false });
-    ("Secure w/o Enc", { Config.tee = Enclave.Scone; encryption = false; authentication = false; stabilization = false; batching = true; sanitize = false });
-    ("Secure w/ Enc", { Config.tee = Enclave.Scone; encryption = true; authentication = false; stabilization = false; batching = true; sanitize = false });
+    ("Native 2PC", { Config.tee = Enclave.Native; encryption = false; authentication = false; stabilization = false; batching = true; sanitize = false; trace = false; metrics = false });
+    ("Native w/ Enc", { Config.tee = Enclave.Native; encryption = true; authentication = false; stabilization = false; batching = true; sanitize = false; trace = false; metrics = false });
+    ("Secure w/o Enc", { Config.tee = Enclave.Scone; encryption = false; authentication = false; stabilization = false; batching = true; sanitize = false; trace = false; metrics = false });
+    ("Secure w/ Enc", { Config.tee = Enclave.Scone; encryption = true; authentication = false; stabilization = false; batching = true; sanitize = false; trace = false; metrics = false });
   ]
 
 (* Commit pipeline: full-stack treaty-enc-stab with the batching knob on and
@@ -41,16 +41,17 @@ let pipeline_run profile ~ycsb ~clients =
       let config = Common.base_config profile in
       let cluster = Common.make_cluster sim config () in
       Common.load_ycsb cluster ycsb;
-      let p0 = Cluster.pipeline_stats cluster in
+      let p0 = Cluster.pipeline_counters cluster in
       let c0 = Cluster.total_committed cluster in
       let r =
         W.Driver.run_clients cluster ~clients
           ~duration_ns:(Common.duration_ns ()) ~warmup_ns:(Common.warmup_ns ())
           ~txn:(Common.ycsb_txn ycsb) ()
       in
-      let p1 = Cluster.pipeline_stats cluster in
+      let p1 = Cluster.pipeline_counters cluster in
+      let delta name = List.assoc name p1 - List.assoc name p0 in
       let committed = Cluster.total_committed cluster - c0 in
-      let increments = p1.Cluster.rote_increments - p0.Cluster.rote_increments in
+      let increments = delta "rote.increments" in
       let ratio num den = if den = 0 then 0. else float_of_int num /. float_of_int den in
       row :=
         Some
@@ -60,17 +61,10 @@ let pipeline_run profile ~ycsb ~clients =
             increments;
             rounds_per_txn = ratio increments committed;
             clog_items_per_batch =
-              ratio
-                (p1.Cluster.clog_items - p0.Cluster.clog_items)
-                (p1.Cluster.clog_batches - p0.Cluster.clog_batches);
-            wal_items_per_batch =
-              ratio
-                (p1.Cluster.wal_items - p0.Cluster.wal_items)
-                (p1.Cluster.wal_batches - p0.Cluster.wal_batches);
+              ratio (delta "clog.items") (delta "clog.batches");
+            wal_items_per_batch = ratio (delta "wal.items") (delta "wal.batches");
             msgs_per_packet =
-              ratio
-                (p1.Cluster.burst_msgs - p0.Cluster.burst_msgs)
-                (p1.Cluster.bursts_sent - p0.Cluster.bursts_sent);
+              ratio (delta "rpc.burst_msgs") (delta "rpc.bursts_sent");
           };
       Cluster.shutdown cluster);
   Option.get !row

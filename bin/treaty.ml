@@ -9,6 +9,8 @@
 open Treaty_core
 module Sim = Treaty_sim.Sim
 module W = Treaty_workload
+module Trace = Treaty_obs.Trace
+module Metrics = Treaty_obs.Metrics
 
 let profiles =
   [
@@ -42,12 +44,30 @@ let report_sanitizer cluster =
         Printf.printf "sanitizer: %s\n" m;
         exit 1
 
+(* Post-run observability reporting, shared by the run-command workloads:
+   the registry-backed pipeline line (the old bespoke pipeline_stats record
+   folded into gauges), the full metrics dump, and the Chrome trace. *)
+let report_obs ~trace_file ~metrics cluster =
+  Printf.printf "pipeline: %s\n" (Cluster.pipeline_summary cluster);
+  if metrics then begin
+    Cluster.publish_metrics cluster;
+    print_string (Metrics.dump ())
+  end;
+  match trace_file with
+  | None -> ()
+  | Some f ->
+      Trace.export_file f;
+      Printf.printf "trace: wrote %s (chrome://tracing or ui.perfetto.dev)\n" f
+
 let run_cmd profile no_batching sanitize nodes workload clients duration_ms
-    warehouses read_pct =
+    warehouses read_pct trace_file metrics =
   let profile =
     if no_batching then { profile with Config.batching = false } else profile
   in
   let profile = if sanitize then { profile with Config.sanitize = true } else profile in
+  let profile =
+    { profile with Config.trace = trace_file <> None; metrics }
+  in
   if sanitize then Treaty_util.Sanitizer.reset ();
   let sim = Sim.create () in
   Sim.run sim (fun () ->
@@ -97,8 +117,7 @@ let run_cmd profile no_batching sanitize nodes workload clients duration_ms
               ()
           in
           Printf.printf "%s\n" (W.Stats.summary r.W.Driver.stats ~duration_ns:r.W.Driver.duration_ns);
-          Printf.printf "pipeline: %s\n"
-            (Cluster.pipeline_stats_to_string (Cluster.pipeline_stats cluster));
+          report_obs ~trace_file ~metrics cluster;
           report_sanitizer cluster;
           Cluster.shutdown cluster
       | "tpcc" ->
@@ -117,8 +136,7 @@ let run_cmd profile no_batching sanitize nodes workload clients duration_ms
               ()
           in
           Printf.printf "%s\n" (W.Stats.summary r.W.Driver.stats ~duration_ns:r.W.Driver.duration_ns);
-          Printf.printf "pipeline: %s\n"
-            (Cluster.pipeline_stats_to_string (Cluster.pipeline_stats cluster));
+          report_obs ~trace_file ~metrics cluster;
           report_sanitizer cluster;
           Cluster.shutdown cluster
       | other ->
@@ -213,7 +231,12 @@ let recover_cmd profile crash_after =
 
 (* --- chaos --------------------------------------------------------------- *)
 
-let chaos_cmd seeds first_seed nodes clients horizon_ms no_batching =
+let chaos_cmd seeds first_seed nodes clients horizon_ms no_batching seed_opt
+    trace_file =
+  (* --seed N: run exactly that one seed (the replay-and-trace workflow). *)
+  let seeds, first_seed =
+    match seed_opt with Some s -> (1, s) | None -> (seeds, first_seed)
+  in
   let cfg =
     {
       Treaty_chaos.Chaos.default_config with
@@ -221,16 +244,24 @@ let chaos_cmd seeds first_seed nodes clients horizon_ms no_batching =
       clients;
       horizon_ns = horizon_ms * 1_000_000;
       batching = not no_batching;
+      trace = trace_file <> None;
     }
   in
   let failures = ref 0 in
   for seed = first_seed to first_seed + seeds - 1 do
-    match Treaty_chaos.Chaos.run_seed ~config:cfg ~seed () with
+    (match Treaty_chaos.Chaos.run_seed ~config:cfg ~seed () with
     | Ok r ->
         Format.printf "PASS %a@." Treaty_chaos.Chaos.pp_report r
     | Error m ->
         incr failures;
-        Printf.printf "FAIL seed=%d: %s\n%!" seed m
+        Printf.printf "FAIL seed=%d: %s\n%!" seed m);
+    (* Traces are per seed; with a multi-seed sweep the file holds the last
+       run (use --seed to trace a specific one). *)
+    match trace_file with
+    | Some f ->
+        Trace.export_file f;
+        Printf.printf "trace: wrote %s for seed %d\n%!" f seed
+    | None -> ()
   done;
   Printf.printf "%d/%d seeds passed\n" (seeds - !failures) seeds;
   if !failures > 0 then exit 1
@@ -269,10 +300,30 @@ let sanitize_arg =
                  watchdog and plaintext-taint checks, with a verdict after \
                  the run (non-zero exit on violations).")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ]
+           ~doc:"Record a distributed trace of the run and write it to \
+                 $(docv) as Chrome trace_event JSON (open in chrome://tracing \
+                 or ui.perfetto.dev). Deterministic: same seed, same bytes."
+           ~docv:"FILE")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Dump the metrics registry after the run: abort-reason \
+                 taxonomy, lock/stabilization/network wait histograms, \
+                 fiber-scheduler profile and pipeline gauges.")
+
+let single_seed_arg =
+  Arg.(value & opt (some int) None
+       & info [ "seed" ]
+           ~doc:"Run exactly this one seed (overrides --seeds/--first-seed).")
+
 let run_term =
   Term.(const run_cmd $ profile_arg $ no_batching_arg $ sanitize_arg
         $ nodes_arg $ workload_arg $ clients_arg $ duration_arg
-        $ warehouses_arg $ read_pct_arg)
+        $ warehouses_arg $ read_pct_arg $ trace_arg $ metrics_arg)
 
 let cmds =
   [
@@ -288,7 +339,8 @@ let cmds =
             delay/duplication) and check serializability, durability, \
             atomicity and leak-freedom after each.")
       Term.(const chaos_cmd $ seeds_arg $ first_seed_arg $ nodes_arg
-            $ chaos_clients_arg $ horizon_arg $ no_batching_arg);
+            $ chaos_clients_arg $ horizon_arg $ no_batching_arg
+            $ single_seed_arg $ trace_arg);
   ]
 
 let () =

@@ -14,6 +14,7 @@ type config = {
   keys_per_client : int;
   drain_ns : int;
   batching : bool;
+  trace : bool;
 }
 
 let ms n = n * 1_000_000
@@ -28,6 +29,7 @@ let default_config =
     keys_per_client = 2;
     drain_ns = ms 1_500;
     batching = true;
+    trace = false;
   }
 
 type report = {
@@ -50,7 +52,12 @@ let cluster_config cfg ~seed =
      starves a fiber or spills plaintext should fail the seed even when the
      user-visible invariants still hold. *)
   let profile =
-    { Config.treaty_enc_stab with batching = cfg.batching; sanitize = true }
+    {
+      Config.treaty_enc_stab with
+      batching = cfg.batching;
+      sanitize = true;
+      trace = cfg.trace;
+    }
   in
   {
     (Config.with_profile Config.default profile) with
@@ -360,4 +367,7 @@ let run_seed ?(config = default_config) ~seed () =
    with Fail m ->
      result :=
        Error (Printf.sprintf "%s\n  schedule: %s" m (Schedule.to_string sched)));
+  (* Freeze the trace buffer (export reads it after we return); the next
+     traced run's Cluster.create resets it. *)
+  if cfg.trace then Treaty_obs.Trace.disable ();
   !result

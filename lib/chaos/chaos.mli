@@ -27,6 +27,11 @@ type config = {
       (** Run with the commit-pipeline batching profile knob; [false]
           exercises the unbatched (one round per log, one packet per
           message) path under the same fault schedules. *)
+  trace : bool;
+      (** Record a {!Treaty_obs.Trace} of the whole run (reset at cluster
+          creation, frozen when {!run_seed} returns — the caller exports it).
+          Traces are a pure function of the seed: same seed, byte-identical
+          JSON. *)
 }
 
 val default_config : config

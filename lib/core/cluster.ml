@@ -8,6 +8,8 @@ module Ssd = Treaty_storage.Ssd
 module Cas = Treaty_cas.Cas
 module Las = Treaty_cas.Las
 module Keys = Treaty_crypto.Keys
+module Trace = Treaty_obs.Trace
+module Metrics = Treaty_obs.Metrics
 
 let cas_id = 90
 let code_identity = "treaty-node-v1"
@@ -63,106 +65,103 @@ let total_aborted t =
       match slot with Live n -> acc + (Node.stats n).aborted | Crashed _ -> acc)
     0 t.nodes
 
-type pipeline_stats = {
-  wal_batches : int;
-  wal_items : int;
-  clog_batches : int;
-  clog_items : int;
-  rote_rounds : int;
-  rote_increments : int;
-  rote_targets : int;
-  cc_submits : int;
-  cc_rounds : int;
-  cc_failed_waits : int;
-  bursts_sent : int;
-  burst_msgs : int;
-}
-
-let pipeline_stats t =
-  let z =
-    {
-      wal_batches = 0;
-      wal_items = 0;
-      clog_batches = 0;
-      clog_items = 0;
-      rote_rounds = 0;
-      rote_increments = 0;
-      rote_targets = 0;
-      cc_submits = 0;
-      cc_rounds = 0;
-      cc_failed_waits = 0;
-      bursts_sent = 0;
-      burst_msgs = 0;
-    }
-  in
-  Array.fold_left
-    (fun acc slot ->
+(* Commit-pipeline batching counters aggregated over live nodes, as ordered
+   (name, value) pairs. The names double as the registry gauge names (under
+   a "pipeline." prefix); the fixed order keeps renderings deterministic. *)
+let pipeline_counters t =
+  let wal_batches = ref 0
+  and wal_items = ref 0
+  and clog_batches = ref 0
+  and clog_items = ref 0
+  and rote_rounds = ref 0
+  and rote_increments = ref 0
+  and rote_targets = ref 0
+  and cc_submits = ref 0
+  and cc_rounds = ref 0
+  and cc_failed_waits = ref 0
+  and bursts_sent = ref 0
+  and burst_msgs = ref 0 in
+  Array.iter
+    (fun slot ->
       match slot with
-      | Crashed _ -> acc
+      | Crashed _ -> ()
       | Live n ->
           let module GC = Treaty_storage.Group_commit in
           let engine = Node.engine n in
           let gc_add (b, i) = function
-            | None -> (b, i)
-            | Some (s : GC.stats) -> (b + s.batches, i + s.items)
+            | None -> ()
+            | Some (s : GC.stats) ->
+                b := !b + s.batches;
+                i := !i + s.items
           in
-          let wal_batches, wal_items =
-            gc_add (acc.wal_batches, acc.wal_items)
-              (Treaty_storage.Engine.wal_group_stats engine)
-          in
-          let clog_batches, clog_items =
-            gc_add (acc.clog_batches, acc.clog_items)
-              (Treaty_storage.Engine.clog_group_stats engine)
-          in
+          gc_add (wal_batches, wal_items)
+            (Treaty_storage.Engine.wal_group_stats engine);
+          gc_add (clog_batches, clog_items)
+            (Treaty_storage.Engine.clog_group_stats engine);
           let rs = Treaty_counter.Rote.stats (Node.rote n) in
-          let acc =
-            {
-              acc with
-              wal_batches;
-              wal_items;
-              clog_batches;
-              clog_items;
-              rote_rounds = acc.rote_rounds + rs.rounds;
-              rote_increments = acc.rote_increments + rs.increments;
-              rote_targets = acc.rote_targets + rs.targets;
-            }
-          in
-          let acc =
-            match Node.counter_client n with
-            | None -> acc
-            | Some cc ->
-                let cs = Treaty_counter.Counter_client.stats cc in
-                {
-                  acc with
-                  cc_submits = acc.cc_submits + cs.submits;
-                  cc_rounds = acc.cc_rounds + cs.rounds_started;
-                  cc_failed_waits = acc.cc_failed_waits + cs.failed_waits;
-                }
-          in
+          rote_rounds := !rote_rounds + rs.rounds;
+          rote_increments := !rote_increments + rs.increments;
+          rote_targets := !rote_targets + rs.targets;
+          (match Node.counter_client n with
+          | None -> ()
+          | Some cc ->
+              let cs = Treaty_counter.Counter_client.stats cc in
+              cc_submits := !cc_submits + cs.submits;
+              cc_rounds := !cc_rounds + cs.rounds_started;
+              cc_failed_waits := !cc_failed_waits + cs.failed_waits);
           let es = Erpc.stats (Node.rpc n) in
-          {
-            acc with
-            bursts_sent = acc.bursts_sent + es.bursts_sent;
-            burst_msgs = acc.burst_msgs + es.burst_msgs;
-          })
-    z t.nodes
+          bursts_sent := !bursts_sent + es.bursts_sent;
+          burst_msgs := !burst_msgs + es.burst_msgs)
+    t.nodes;
+  [
+    ("wal.items", !wal_items);
+    ("wal.batches", !wal_batches);
+    ("clog.items", !clog_items);
+    ("clog.batches", !clog_batches);
+    ("rote.rounds", !rote_rounds);
+    ("rote.increments", !rote_increments);
+    ("rote.targets", !rote_targets);
+    ("counter.submits", !cc_submits);
+    ("counter.rounds", !cc_rounds);
+    ("counter.failed_waits", !cc_failed_waits);
+    ("rpc.bursts_sent", !bursts_sent);
+    ("rpc.burst_msgs", !burst_msgs);
+  ]
 
-let pipeline_stats_to_string p =
+let publish_metrics t =
+  List.iter
+    (fun (name, v) -> Metrics.set_gauge ("pipeline." ^ name) v)
+    (pipeline_counters t);
+  List.iter
+    (fun (label, (p : Treaty_sched.Scheduler.fiber_profile)) ->
+      let g suffix v =
+        Metrics.set_gauge (Printf.sprintf "fiber.%s.%s" label suffix) v
+      in
+      g "spawned" p.spawned;
+      g "completed" p.completed;
+      g "wakeups" p.wakeups;
+      g "run_ns" p.run_ns;
+      g "suspended_ns" p.suspended_ns)
+    (Sim.fiber_profile t.sim)
+
+let pipeline_summary t =
+  let c = pipeline_counters t in
+  let v name = List.assoc name c in
   let ratio num den = if den = 0 then 0. else float_of_int num /. float_of_int den in
   Printf.sprintf
     "wal %d/%d (%.2f/batch) clog %d/%d (%.2f/batch) rote rounds=%d incs=%d \
      targets=%d (%.2f logs/round-pair) counter submits=%d rounds=%d \
      (%.2f/round) failed=%d bursts %d/%d (%.2f msgs/pkt)"
-    p.wal_items p.wal_batches
-    (ratio p.wal_items p.wal_batches)
-    p.clog_items p.clog_batches
-    (ratio p.clog_items p.clog_batches)
-    p.rote_rounds p.rote_increments p.rote_targets
-    (ratio p.rote_targets p.rote_increments)
-    p.cc_submits p.cc_rounds
-    (ratio p.cc_submits p.cc_rounds)
-    p.cc_failed_waits p.burst_msgs p.bursts_sent
-    (ratio p.burst_msgs p.bursts_sent)
+    (v "wal.items") (v "wal.batches")
+    (ratio (v "wal.items") (v "wal.batches"))
+    (v "clog.items") (v "clog.batches")
+    (ratio (v "clog.items") (v "clog.batches"))
+    (v "rote.rounds") (v "rote.increments") (v "rote.targets")
+    (ratio (v "rote.targets") (v "rote.increments"))
+    (v "counter.submits") (v "counter.rounds")
+    (ratio (v "counter.submits") (v "counter.rounds"))
+    (v "counter.failed_waits") (v "rpc.burst_msgs") (v "rpc.bursts_sent")
+    (ratio (v "rpc.burst_msgs") (v "rpc.bursts_sent"))
 
 (* A minimal plain endpoint used only during attestation, before the node
    has any cluster secrets. Its network registration is replaced when the
@@ -209,6 +208,18 @@ let create sim config ?route () =
        routing a reproducibility hazard for seeded runs. *)
     Option.value route ~default:Treaty_util.Fnv.hash
   in
+  (* Observability is reset-then-enabled per cluster so two seeded runs in
+     one process start from identical collector state (the determinism
+     contract of `treaty chaos --trace`). *)
+  if config.Config.profile.trace then begin
+    Trace.reset ();
+    Trace.enable ~clock:(fun () -> Sim.now sim)
+  end;
+  if config.Config.profile.metrics then begin
+    Metrics.reset ();
+    Metrics.enable ();
+    Sim.enable_fiber_profile sim
+  end;
   if config.Config.profile.sanitize then begin
     Sim.enable_fiber_watchdog sim
       ~threshold_ns:config.Config.sanitize_fiber_stall_ns

@@ -71,28 +71,21 @@ val node_ssd : t -> int -> Treaty_storage.Ssd.t
 val total_committed : t -> int
 val total_aborted : t -> int
 
-type pipeline_stats = {
-  wal_batches : int;  (** WAL group-commit flushes across live nodes. *)
-  wal_items : int;  (** WAL entries carried by those flushes. *)
-  clog_batches : int;  (** Clog group-commit flushes. *)
-  clog_items : int;  (** Clog records carried by those flushes. *)
-  rote_rounds : int;  (** ROTE broadcast rounds (2 per increment). *)
-  rote_increments : int;  (** Confirmed-or-failed counter increments. *)
-  rote_targets : int;  (** (log, value) targets carried by increments. *)
-  cc_submits : int;  (** Counter-client submissions (log advances). *)
-  cc_rounds : int;  (** Epoch rounds the counter clients started. *)
-  cc_failed_waits : int;  (** Waiters failed with [`Stability_timeout]. *)
-  bursts_sent : int;  (** Packets emitted by node RPC endpoints. *)
-  burst_msgs : int;  (** Messages carried in those packets. *)
-}
+val pipeline_counters : t -> (string * int) list
+(** Commit-pipeline batching counters aggregated over live nodes, in a fixed
+    order: group commit ([wal.items]/[wal.batches], [clog.*]), epoch
+    stabilization ([rote.*], [counter.*]) and RPC burst coalescing
+    ([rpc.*]). Crashed nodes' counters are lost with their volatile state.
+    The names double as registry gauge names (see {!publish_metrics}). *)
 
-val pipeline_stats : t -> pipeline_stats
-(** Commit-pipeline batching counters aggregated over live nodes: group
-    commit (items/batch), epoch stabilization (logs per counter round) and
-    RPC burst coalescing (messages per packet). Crashed nodes' counters are
-    lost with their volatile state. *)
+val publish_metrics : t -> unit
+(** Snapshot {!pipeline_counters} into the {!Treaty_obs.Metrics} registry as
+    [pipeline.*] gauges, and the fiber-scheduler profile as
+    [fiber.<label>.*] gauges. No-op when the registry is disabled. *)
 
-val pipeline_stats_to_string : pipeline_stats -> string
+val pipeline_summary : t -> string
+(** Human-readable rendering of {!pipeline_counters} with the derived
+    per-batch / per-round ratios. *)
 
 val shutdown : t -> unit
 (** Stop all nodes and the CAS so the simulation can drain. *)

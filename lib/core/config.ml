@@ -7,6 +7,8 @@ type security_profile = {
   stabilization : bool;
   batching : bool;
   sanitize : bool;
+  trace : bool;
+  metrics : bool;
 }
 
 let ds_rocksdb =
@@ -17,6 +19,8 @@ let ds_rocksdb =
     stabilization = false;
     batching = true;
     sanitize = false;
+    trace = false;
+    metrics = false;
   }
 
 let native_treaty =
@@ -27,6 +31,8 @@ let native_treaty =
     stabilization = false;
     batching = true;
     sanitize = false;
+    trace = false;
+    metrics = false;
   }
 
 let native_treaty_enc = { native_treaty with encryption = true }
@@ -39,6 +45,8 @@ let treaty_no_enc =
     stabilization = false;
     batching = true;
     sanitize = false;
+    trace = false;
+    metrics = false;
   }
 
 let treaty_enc = { treaty_no_enc with encryption = true }

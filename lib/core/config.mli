@@ -22,6 +22,16 @@ type security_profile = {
           when the profile also encrypts — plaintext-taint checks at the
           netsim and host-storage boundaries. Findings land in
           {!Treaty_util.Sanitizer}. *)
+  trace : bool;
+      (** Deterministic span tracing (off in every named profile): record
+          per-transaction span trees in {!Treaty_obs.Trace} on the sim
+          clock, exportable as Chrome [trace_event] JSON
+          ([treaty run --trace]). *)
+  metrics : bool;
+      (** Metrics registry (off in every named profile): populate
+          {!Treaty_obs.Metrics} — abort taxonomy, wait-time histograms,
+          pipeline counters, fiber-scheduler profile
+          ([treaty run --metrics]). *)
 }
 
 val ds_rocksdb : security_profile

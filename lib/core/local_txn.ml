@@ -2,12 +2,17 @@ module Engine = Treaty_storage.Engine
 module Memtable = Treaty_storage.Memtable
 module Op = Treaty_storage.Op
 module Enclave = Treaty_tee.Enclave
+module Trace = Treaty_obs.Trace
 
 type t = {
   engine : Engine.t;
   locks : Lock_table.t;
   isolation : Types.isolation;
   txid : Types.txid;
+  mutable span : Trace.span;
+      (* Parents lock.wait spans. Mutable because a participant slice spans
+         many RPC handlers: each op re-points it at the live handler span
+         (the first op's span is closed by the time a later op blocks). *)
   snapshot : int;
   mutable write_list : (string * Op.t) list;  (* newest first *)
   write_index : (string, Op.t) Hashtbl.t;
@@ -17,7 +22,7 @@ type t = {
   mutable finished : bool;
 }
 
-let begin_ ~engine ~locks ~isolation ~tx =
+let begin_ ?(span = Trace.none) ~engine ~locks ~isolation ~tx () =
   Lock_table.txn_begin locks ~owner:tx;
   let snapshot = Engine.snapshot engine in
   Engine.retain_snapshot engine snapshot;
@@ -26,6 +31,7 @@ let begin_ ~engine ~locks ~isolation ~tx =
     locks;
     isolation;
     txid = tx;
+    span;
     snapshot;
     write_list = [];
     write_index = Hashtbl.create 8;
@@ -37,11 +43,12 @@ let begin_ ~engine ~locks ~isolation ~tx =
 
 let tx t = t.txid
 let snapshot t = t.snapshot
+let set_span t span = t.span <- span
 
 let lock t key mode =
   match t.isolation with
   | Types.Pessimistic -> (
-      match Lock_table.acquire t.locks ~owner:t.txid ~key mode with
+      match Lock_table.acquire ~span:t.span t.locks ~owner:t.txid ~key mode with
       | Ok () -> Ok ()
       | Error `Timeout -> Error `Timeout)
   | Types.Optimistic -> Ok ()
@@ -181,7 +188,7 @@ let prepare t =
       let rec lock_keys mode = function
         | [] -> Ok ()
         | key :: rest -> (
-            match Lock_table.acquire t.locks ~owner:t.txid ~key mode with
+            match Lock_table.acquire ~span:t.span t.locks ~owner:t.txid ~key mode with
             | Ok () -> lock_keys mode rest
             | Error `Timeout -> Error `Timeout)
       in

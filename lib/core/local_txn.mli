@@ -17,11 +17,20 @@
 type t
 
 val begin_ :
+  ?span:Treaty_obs.Trace.span ->
   engine:Treaty_storage.Engine.t ->
   locks:Lock_table.t ->
   isolation:Types.isolation ->
   tx:Types.txid ->
+  unit ->
   t
+(** [span] (default none) parents the lock-wait spans this transaction's
+    accesses may open. *)
+
+val set_span : t -> Treaty_obs.Trace.span -> unit
+(** Re-point the lock-wait parent. Participant slices outlive individual RPC
+    handlers; each op sets the currently-open handler span before executing
+    so waits nest under the op that incurred them. *)
 
 val tx : t -> Types.txid
 val snapshot : t -> int

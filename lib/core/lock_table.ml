@@ -1,6 +1,8 @@
 module Sim = Treaty_sim.Sim
 module Enclave = Treaty_tee.Enclave
 module Sanitizer = Treaty_util.Sanitizer
+module Trace = Treaty_obs.Trace
+module Metrics = Treaty_obs.Metrics
 
 type mode = Read | Write
 
@@ -30,6 +32,7 @@ let max_ended = 4096
 type t = {
   sim : Sim.t;
   enclave : Enclave.t;
+  node : int;  (* trace pid lane for lock.wait spans *)
   shards : (string, lock) Hashtbl.t array;
   owner_keys : (Types.txid, string list ref) Hashtbl.t;
   timeout_ns : int;
@@ -39,10 +42,11 @@ type t = {
   ended_fifo : Types.txid Queue.t;
 }
 
-let create ?(sanitize = false) sim ~enclave ~shards ~timeout_ns =
+let create ?(sanitize = false) ?(node = 0) sim ~enclave ~shards ~timeout_ns =
   {
     sim;
     enclave;
+    node;
     shards = Array.init (max 1 shards) (fun _ -> Hashtbl.create 64);
     owner_keys = Hashtbl.create 64;
     timeout_ns;
@@ -114,7 +118,7 @@ let rec promote_waiters t key l =
 
 let txid_str (o : Types.txid) = Printf.sprintf "tx(%d,%d)" o.coord o.seq
 
-let acquire t ~owner ~key mode =
+let acquire ?(span = Trace.none) t ~owner ~key mode =
   t.stats.acquisitions <- t.stats.acquisitions + 1;
   Enclave.compute t.enclave 150;
   if t.sanitize && Hashtbl.mem t.ended owner then
@@ -138,9 +142,23 @@ let acquire t ~owner ~key mode =
     in
     let w = { wowner = owner; wmode = mode; granted = Sim.ivar () } in
     l.waiters <- l.waiters @ [ w ];
+    let wspan =
+      Trace.begin_span ~parent:span ~node:t.node ~cat:"core" "lock.wait"
+        ~args:
+          [ ("key", Trace.Str key);
+            ("mode", Trace.Str (match mode with Read -> "r" | Write -> "w")) ]
+    in
+    let t0 = Sim.now t.sim in
+    let finish status =
+      Metrics.observe "lock.wait_ns" (Sim.now t.sim - t0);
+      Trace.end_span wspan ~args:[ ("status", Trace.Str status) ]
+    in
     match Sim.read_timeout t.sim ~ns:t.timeout_ns w.granted with
-    | Some () -> Ok ()
+    | Some () ->
+        finish "granted";
+        Ok ()
     | None ->
+        finish "timeout";
         t.stats.timeouts <- t.stats.timeouts + 1;
         l.waiters <- List.filter (fun w' -> w' != w) l.waiters;
         (* Mark the ivar so a late promotion sees the timeout. *)

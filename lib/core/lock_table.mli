@@ -18,19 +18,29 @@ type stats = {
 
 val create :
   ?sanitize:bool ->
+  ?node:int ->
   Treaty_sim.Sim.t ->
   enclave:Treaty_tee.Enclave.t ->
   shards:int ->
   timeout_ns:int ->
   t
 (** [sanitize] (default off) enables the TreatySan lockset tracker: see
-    {!txn_begin}, {!txn_end} and {!leak_check}. *)
+    {!txn_begin}, {!txn_end} and {!leak_check}. [node] is the trace pid lane
+    this table's lock-wait spans render on (default 0). *)
 
 val stats : t -> stats
 
 val acquire :
-  t -> owner:Types.txid -> key:string -> mode -> (unit, [ `Timeout ]) result
-(** Block until granted or until the timeout elapses. *)
+  ?span:Treaty_obs.Trace.span ->
+  t ->
+  owner:Types.txid ->
+  key:string ->
+  mode ->
+  (unit, [ `Timeout ]) result
+(** Block until granted or until the timeout elapses. When the acquisition
+    has to block and tracing is on, a ["lock.wait"] span (child of [span])
+    covers the wait, and its duration is recorded on the ["lock.wait_ns"]
+    histogram. *)
 
 val release_all : t -> owner:Types.txid -> unit
 (** Drop every lock the owner holds and hand them to waiters. *)

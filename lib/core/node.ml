@@ -14,6 +14,8 @@ module Counter_client = Treaty_counter.Counter_client
 module Keys = Treaty_crypto.Keys
 module Wire = Treaty_util.Wire
 module Latch = Treaty_sched.Scheduler.Latch
+module Trace = Treaty_obs.Trace
+module Metrics = Treaty_obs.Metrics
 
 let k_txn_op = 1
 let k_txn_scan = 6
@@ -58,6 +60,7 @@ type coord_tx = {
   ct_seq : int;
   ct_client : int;
   ct_local : Local_txn.t;
+  ct_span : Trace.span;  (* root "txn" span, ended by finish_coord *)
   mutable ct_next_op : int;
   ct_remote : (int, remote_slice) Hashtbl.t;
   ct_started : int;
@@ -197,9 +200,9 @@ let status_reply s =
 
 let local_txid t seq = { Types.coord = t.deps.node_id; seq }
 
-let begin_local t txid =
-  Local_txn.begin_ ~engine:t.engine ~locks:t.locks
-    ~isolation:t.deps.config.isolation ~tx:txid
+let begin_local ?span t txid =
+  Local_txn.begin_ ?span ~engine:t.engine ~locks:t.locks
+    ~isolation:t.deps.config.isolation ~tx:txid ()
 
 let exec_local ltx = function
   | Cget key -> (
@@ -256,12 +259,19 @@ let part_ctx t ~coord ~tx_seq =
       Hashtbl.replace t.part_txs (coord, tx_seq) (ctx, Sim.now t.deps.sim);
       ctx
 
+(* The erpc layer re-registered the at-most-once triple to the live
+   rpc.handle span before invoking us: resolving it parents the spans this
+   handler opens (lock waits, prepare persistence) under that handler. *)
+let handler_span (meta : Secure_msg.meta) =
+  Trace.ctx_resolve ~coord:meta.coord ~tx_seq:meta.tx_seq ~op_id:meta.op_id
+
 let handle_txn_op t (meta : Secure_msg.meta) payload =
   t.stats.remote_ops_served <- t.stats.remote_ops_served + 1;
   match decode_op (Wire.reader payload) with
   | exception Wire.Malformed _ -> status_reply St_unknown_tx
   | op -> (
       let ctx = part_ctx t ~coord:meta.coord ~tx_seq:meta.tx_seq in
+      Local_txn.set_span ctx (handler_span meta);
       match exec_local ctx op with
       | Ok (value, seq) -> ok_value_reply value seq
       | Error `Timeout -> status_reply St_lock_timeout)
@@ -293,6 +303,7 @@ let handle_txn_scan t (meta : Secure_msg.meta) payload =
   | exception Wire.Malformed _ -> status_reply St_unknown_tx
   | lo, hi -> (
       let ctx = part_ctx t ~coord:meta.coord ~tx_seq:meta.tx_seq in
+      Local_txn.set_span ctx (handler_span meta);
       match Local_txn.scan ctx ~lo ~hi with
       | Ok kvs -> encode_scan_reply kvs
       | Error `Timeout -> status_reply St_lock_timeout)
@@ -311,13 +322,16 @@ let handle_prepare t (meta : Secure_msg.meta) _payload =
   match Hashtbl.find_opt t.part_txs (meta.coord, meta.tx_seq) with
   | None -> status_reply St_unknown_tx
   | Some (ctx, _) -> (
+      let hspan = handler_span meta in
+      Local_txn.set_span ctx hspan;
       match Local_txn.prepare ctx with
       | Error (`Conflict | `Timeout) -> status_reply St_lock_timeout
       | Ok () -> (
           let writes = Local_txn.writes ctx in
           match
             if writes <> [] then
-              Engine.prepare t.engine ~tx:(meta.coord, meta.tx_seq) ~writes
+              Engine.prepare t.engine ~span:hspan
+                ~tx:(meta.coord, meta.tx_seq) ~writes ()
           with
           | exception Engine.Stability_timeout ->
               (* The prepare entry is durable but not rollback-protected, so
@@ -381,10 +395,19 @@ let abort_remote t ctx =
 let finish_coord t ctx =
   Local_txn.finish ctx.ct_local;
   Hashtbl.remove t.coord_txs ctx.ct_seq;
-  Erpc.forget_tx t.rpc ~coord:t.deps.node_id ~tx_seq:ctx.ct_seq
+  Erpc.forget_tx t.rpc ~coord:t.deps.node_id ~tx_seq:ctx.ct_seq;
+  Trace.end_span ctx.ct_span
 
-let abort_tx t ctx =
+(* Per-node abort taxonomy: one counter per (node, reason) so run --metrics
+   attributes aborts instead of reporting a single opaque total. *)
+let count_abort t reason =
+  Metrics.incr (Printf.sprintf "n%d.abort.%s" t.deps.node_id reason)
+
+let abort_tx t ctx ~reason =
   t.stats.aborted <- t.stats.aborted + 1;
+  count_abort t reason;
+  Trace.add_args ctx.ct_span
+    [ ("status", Trace.Str "aborted"); ("reason", Trace.Str reason) ];
   if Hashtbl.length ctx.ct_remote > 0 then abort_remote t ctx;
   finish_coord t ctx
 
@@ -396,11 +419,17 @@ let handle_client_begin t _meta payload =
       if not (Hashtbl.mem t.clients client_id) then status_reply St_unauth
       else begin
         let seq = alloc_tx_seq t in
+        let span =
+          Trace.begin_span ~node:t.deps.node_id ~cat:"txn" "txn"
+            ~args:
+              [ ("tx_seq", Trace.Int seq); ("client", Trace.Int client_id) ]
+        in
         let ctx =
           {
             ct_seq = seq;
             ct_client = client_id;
-            ct_local = begin_local t (local_txid t seq);
+            ct_local = begin_local ~span t (local_txid t seq);
+            ct_span = span;
             ct_next_op = 0;
             ct_remote = Hashtbl.create 4;
             ct_started = Sim.now t.deps.sim;
@@ -423,14 +452,14 @@ let remote_slice ctx node =
       s
 
 (* Forward one op to the owning participant (Figure 2, steps 1-4). *)
-let forward_op t ctx ~owner op =
+let forward_op t ctx ~span ~owner op =
   ctx.ct_next_op <- ctx.ct_next_op + 1;
   let b = Buffer.create 64 in
   encode_op b op;
   match
     Erpc.call t.rpc ~dst:owner ~kind:k_txn_op ~coord:t.deps.node_id
       ~tx_seq:ctx.ct_seq ~op_id:ctx.ct_next_op
-      ~timeout_ns:t.deps.config.rpc_timeout_ns (Buffer.contents b)
+      ~timeout_ns:t.deps.config.rpc_timeout_ns ~span (Buffer.contents b)
   with
   | Error (`Timeout | `Tampered) -> Error `Participant
   | Ok reply -> (
@@ -464,18 +493,36 @@ let handle_client_op t _meta payload =
       | None -> status_reply St_unknown_tx
       | Some ctx -> (
           let owner = t.deps.route (op_key op) in
+          (* One "execute" span per client op: the 2PC execution phase is
+             the union of these (Figure 2, steps 1-4). *)
+          let espan =
+            Trace.begin_span ~parent:ctx.ct_span ~node:t.deps.node_id
+              ~cat:"txn" "execute"
+              ~args:
+                [ ("op", Trace.Int ctx.ct_next_op);
+                  ("owner", Trace.Int owner) ]
+          in
+          Local_txn.set_span ctx.ct_local espan;
           let result =
             if owner = t.deps.node_id then
               match exec_local ctx.ct_local op with
               | Ok (v, _) -> Ok v
               | Error `Timeout -> Error `Lock_timeout
-            else forward_op t ctx ~owner op
+            else forward_op t ctx ~span:espan ~owner op
           in
+          Local_txn.set_span ctx.ct_local ctx.ct_span;
           match result with
-          | Ok value -> ok_value_reply value 0
-          | Error (`Lock_timeout | `Participant) ->
+          | Ok value ->
+              Trace.end_span espan ~args:[ ("status", Trace.Str "ok") ];
+              ok_value_reply value 0
+          | Error `Lock_timeout ->
+              Trace.end_span espan ~args:[ ("status", Trace.Str "lock_timeout") ];
               (* Failed op: the coordinator aborts the whole transaction. *)
-              abort_tx t ctx;
+              abort_tx t ctx ~reason:"lock_timeout";
+              status_reply St_lock_timeout
+          | Error `Participant ->
+              Trace.end_span espan ~args:[ ("status", Trace.Str "participant") ];
+              abort_tx t ctx ~reason:"participant_failed";
               status_reply St_lock_timeout))
 
 let handle_client_scan t _meta payload =
@@ -494,6 +541,11 @@ let handle_client_scan t _meta payload =
       | Some ctx -> (
           (* A range may span every shard: scan the local slice and fan the
              request out to all peers as participants of this transaction. *)
+          let espan =
+            Trace.begin_span ~parent:ctx.ct_span ~node:t.deps.node_id
+              ~cat:"txn" "execute" ~args:[ ("scan", Trace.Int 1) ]
+          in
+          Local_txn.set_span ctx.ct_local espan;
           let remotes = List.filter (fun n -> n <> t.deps.node_id) t.deps.peers in
           let results = Hashtbl.create 8 in
           let failed = ref false in
@@ -509,7 +561,7 @@ let handle_client_scan t _meta payload =
                      Erpc.call t.rpc ~dst:node ~kind:k_txn_scan
                        ~coord:t.deps.node_id ~tx_seq:ctx.ct_seq
                        ~op_id:ctx.ct_next_op
-                       ~timeout_ns:t.deps.config.rpc_timeout_ns
+                       ~timeout_ns:t.deps.config.rpc_timeout_ns ~span:espan
                        (Buffer.contents b)
                    with
                   | Error (`Timeout | `Tampered) -> failed := true
@@ -534,9 +586,14 @@ let handle_client_scan t _meta payload =
             remotes;
           let local = Local_txn.scan ctx.ct_local ~lo ~hi in
           Latch.wait (Sim.sched t.deps.sim) latch;
+          Local_txn.set_span ctx.ct_local ctx.ct_span;
+          Trace.end_span espan;
           match (local, !failed) with
-          | Error `Timeout, _ | _, true ->
-              abort_tx t ctx;
+          | Error `Timeout, _ ->
+              abort_tx t ctx ~reason:"lock_timeout";
+              status_reply St_lock_timeout
+          | Ok _, true ->
+              abort_tx t ctx ~reason:"participant_failed";
               status_reply St_lock_timeout
           | Ok local_kvs, false ->
               let all =
@@ -548,9 +605,15 @@ let handle_client_scan t _meta payload =
 let commit_distributed t ctx =
   let self = t.deps.node_id in
   let remotes = Hashtbl.fold (fun node _ acc -> node :: acc) ctx.ct_remote [] in
+  (* Phase span: Clog begin + prepare fan-out + decision stabilization. *)
+  let pspan =
+    Trace.begin_span ~parent:ctx.ct_span ~node:self ~cat:"txn" "prepare"
+      ~args:[ ("participants", Trace.Int (List.length remotes)) ]
+  in
+  Local_txn.set_span ctx.ct_local pspan;
   (* Step 5: log the 2PC start with its own trusted counter value. *)
   ignore
-    (Engine.clog_append t.engine
+    (Engine.clog_append t.engine ~span:pspan
        (Clog_record.Begin_2pc { tx_seq = ctx.ct_seq; participants = remotes }));
   (* Prepare phase: all participants and the local slice, in parallel. *)
   let results = Hashtbl.create 8 in
@@ -562,7 +625,7 @@ let commit_distributed t ctx =
             match
               Erpc.call t.rpc ~dst:node ~kind:k_prepare ~coord:self
                 ~tx_seq:ctx.ct_seq ~op_id:999_998
-                ~timeout_ns:t.deps.config.rpc_timeout_ns ""
+                ~timeout_ns:t.deps.config.rpc_timeout_ns ~span:pspan ""
             with
             | Error (`Timeout | `Tampered) -> false
             | Ok reply -> (
@@ -596,7 +659,8 @@ let commit_distributed t ctx =
             let writes = Local_txn.writes ctx.ct_local in
             match
               if writes <> [] then
-                Engine.prepare t.engine ~tx:(self, ctx.ct_seq) ~writes
+                Engine.prepare t.engine ~span:pspan ~tx:(self, ctx.ct_seq)
+                  ~writes ()
             with
             | () -> true
             | exception Engine.Stability_timeout -> false)
@@ -607,11 +671,13 @@ let commit_distributed t ctx =
   let all_ok = Hashtbl.fold (fun _ ok acc -> ok && acc) results true in
   (* Steps 6-7: log and stabilize the decision before acting on it. *)
   let decision_counter =
-    Engine.clog_append t.engine
+    Engine.clog_append t.engine ~span:pspan
       (Clog_record.Decision { tx_seq = ctx.ct_seq; commit = all_ok })
   in
   let decision_stable =
-    match Engine.clog_wait_stable t.engine ~counter:decision_counter with
+    match
+      Engine.clog_wait_stable t.engine ~span:pspan ~counter:decision_counter ()
+    with
     | Ok () -> true
     | Error `Stability_timeout -> false
   in
@@ -623,12 +689,19 @@ let commit_distributed t ctx =
      is exactly what the participants are now told to do. *)
   if all_ok && not decision_stable then
     ignore
-      (Engine.clog_append t.engine
+      (Engine.clog_append t.engine ~span:pspan
          (Clog_record.Decision { tx_seq = ctx.ct_seq; commit = false }));
   let prepared_ok = all_ok in
   let all_ok = all_ok && decision_stable in
   Hashtbl.replace t.decisions ctx.ct_seq all_ok;
+  Local_txn.set_span ctx.ct_local ctx.ct_span;
+  Trace.end_span pspan
+    ~args:[ ("decision", Trace.Str (if all_ok then "commit" else "abort")) ];
   if all_ok then begin
+    (* Commit phase span: the decision fan-out and local installation. *)
+    let cspan =
+      Trace.begin_span ~parent:ctx.ct_span ~node:self ~cat:"txn" "commit"
+    in
     (* Step 8: commit everywhere; no need to wait for stability to ack. *)
     let latch = Latch.create (List.length remotes) in
     List.iter
@@ -637,7 +710,7 @@ let commit_distributed t ctx =
             (match
                Erpc.call t.rpc ~dst:node ~kind:k_commit ~coord:self
                  ~tx_seq:ctx.ct_seq ~op_id:999_999
-                 ~timeout_ns:t.deps.config.rpc_timeout_ns ""
+                 ~timeout_ns:t.deps.config.rpc_timeout_ns ~span:cspan ""
              with
             | Ok reply -> (
                 let r = Wire.reader reply in
@@ -657,18 +730,30 @@ let commit_distributed t ctx =
       Engine.resolve t.engine ~tx:(self, ctx.ct_seq) ~commit:true
     in
     Latch.wait (Sim.sched t.deps.sim) latch;
-    ignore (Engine.clog_append t.engine (Clog_record.Finished { tx_seq = ctx.ct_seq }));
+    ignore
+      (Engine.clog_append t.engine ~span:cspan
+         (Clog_record.Finished { tx_seq = ctx.ct_seq }));
+    Trace.end_span cspan;
     record_history t ctx ~installed_local_seq:installed_local;
     t.stats.committed <- t.stats.committed + 1;
     t.stats.distributed_committed <- t.stats.distributed_committed + 1;
+    Trace.add_args ctx.ct_span [ ("status", Trace.Str "committed") ];
     finish_coord t ctx;
     Ok ()
   end
   else begin
+    let reason =
+      if prepared_ok then "stabilization_unavailable" else "participant_failed"
+    in
     abort_remote t ctx;
     ignore (Engine.resolve t.engine ~tx:(self, ctx.ct_seq) ~commit:false);
-    ignore (Engine.clog_append t.engine (Clog_record.Finished { tx_seq = ctx.ct_seq }));
+    ignore
+      (Engine.clog_append t.engine
+         (Clog_record.Finished { tx_seq = ctx.ct_seq }));
     t.stats.aborted <- t.stats.aborted + 1;
+    count_abort t reason;
+    Trace.add_args ctx.ct_span
+      [ ("status", Trace.Str "aborted"); ("reason", Trace.Str reason) ];
     finish_coord t ctx;
     Error
       (if prepared_ok then Types.Stabilization_unavailable
@@ -678,31 +763,47 @@ let commit_distributed t ctx =
 let commit_single_node t ctx =
   match Local_txn.prepare ctx.ct_local with
   | Error `Conflict ->
-      abort_tx t ctx;
+      abort_tx t ctx ~reason:"validation_failed";
       Error Types.Validation_failed
   | Error `Timeout ->
-      abort_tx t ctx;
+      abort_tx t ctx ~reason:"lock_timeout";
       Error Types.Lock_timeout
   | Ok () -> (
       let writes = Local_txn.writes ctx.ct_local in
+      let cspan =
+        Trace.begin_span ~parent:ctx.ct_span ~node:t.deps.node_id ~cat:"txn"
+          "commit"
+          ~args:[ ("writes", Trace.Int (List.length writes)) ]
+      in
+      let end_commit status =
+        Trace.end_span cspan ~args:[ ("status", Trace.Str status) ]
+      in
       match
-        if writes = [] then None else Some (Engine.commit t.engine ~writes)
+        if writes = [] then None
+        else Some (Engine.commit t.engine ~span:cspan ~writes ())
       with
       | exception Engine.Stability_timeout ->
           (* The writes are applied and locally durable, but the WAL entry is
              not rollback-protected: a crash now would drop it from the
              trusted prefix. Refuse the ack — the client sees an abort, and
              an unacked transaction has no durability obligation. *)
+          end_commit "stabilization_unavailable";
           t.stats.aborted <- t.stats.aborted + 1;
+          count_abort t "stabilization_unavailable";
+          Trace.add_args ctx.ct_span
+            [ ("status", Trace.Str "aborted");
+              ("reason", Trace.Str "stabilization_unavailable") ];
           finish_coord t ctx;
           Error Types.Stabilization_unavailable
       | seq ->
+          end_commit "ok";
           (match seq with
           | Some s -> Local_txn.set_installed_seq ctx.ct_local s
           | None -> ());
           record_history t ctx ~installed_local_seq:seq;
           t.stats.committed <- t.stats.committed + 1;
           t.stats.single_node_committed <- t.stats.single_node_committed + 1;
+          Trace.add_args ctx.ct_span [ ("status", Trace.Str "committed") ];
           finish_coord t ctx;
           Ok ())
 
@@ -749,7 +850,7 @@ let handle_client_abort t _meta payload =
       match Hashtbl.find_opt t.coord_txs tx_seq with
       | None -> status_reply St_ok (* already gone *)
       | Some ctx ->
-          abort_tx t ctx;
+          abort_tx t ctx ~reason:"client_abort";
           status_reply St_ok)
 
 let authenticate_client t ~client_id ~token =
@@ -863,7 +964,7 @@ let start_sweeper t =
                   if
                     t.alive && (not ctx.ct_committing)
                     && Hashtbl.mem t.coord_txs ctx.ct_seq
-                  then abort_tx t ctx))
+                  then abort_tx t ctx ~reason:"abandoned"))
             abandoned
         end
       done)
@@ -906,8 +1007,9 @@ let build_parts (deps : deps) ssd =
       ()
   in
   let locks =
-    Lock_table.create ~sanitize:cfg.profile.sanitize deps.sim ~enclave
-      ~shards:cfg.lock_shards ~timeout_ns:cfg.lock_timeout_ns
+    Lock_table.create ~sanitize:cfg.profile.sanitize ~node:deps.node_id
+      deps.sim ~enclave ~shards:cfg.lock_shards
+      ~timeout_ns:cfg.lock_timeout_ns
   in
   (* The replica's sealed counter table lives on the node's own SSD so a
      crashed node resumes from its latest confirmed counters even when its
@@ -952,7 +1054,8 @@ let stability_of counter_client =
   | None -> Engine.noop_stability
   | Some cc ->
       {
-        Engine.submit = (fun ~log ~counter -> Counter_client.submit cc ~log ~counter);
+        Engine.submit =
+          (fun ~span ~log ~counter -> Counter_client.submit ~span cc ~log ~counter);
         wait_stable =
           (fun ~log ~counter -> Counter_client.wait_stable cc ~log ~counter);
       }
@@ -988,7 +1091,8 @@ let create deps =
   let ssd = Ssd.create deps.sim deps.config.cost in
   let ((_, _, _, sec, _, _, counter_client, _) as parts) = build_parts deps ssd in
   let engine =
-    Engine.create ssd sec deps.config.engine (stability_of counter_client)
+    Engine.create ~node:deps.node_id ssd sec deps.config.engine
+      (stability_of counter_client)
   in
   assemble deps parts engine
 
@@ -1006,7 +1110,8 @@ let recover_with deps ~ssd =
             raise (Recovery_unavailable "trusted counter group unreachable"))
   in
   match
-    Engine.recover ssd sec deps.config.engine (stability_of counter_client) ~trusted
+    Engine.recover ~node:deps.node_id ssd sec deps.config.engine
+      (stability_of counter_client) ~trusted
   with
   | exception Recovery_unavailable m -> Error m
   | Error m -> Error m
@@ -1058,7 +1163,7 @@ let recover_with deps ~ssd =
                 (* The group had quorum moments ago (recovery queried it);
                    even if this wait fails, driving the abort is safe — a
                    lost abort record re-aborts on the next recovery. *)
-                ignore (Engine.clog_wait_stable t.engine ~counter:c);
+                ignore (Engine.clog_wait_stable t.engine ~counter:c ());
                 Hashtbl.replace t.decisions seq false;
                 false
           in

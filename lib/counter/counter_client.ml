@@ -1,4 +1,5 @@
 module Sim = Treaty_sim.Sim
+module Trace = Treaty_obs.Trace
 
 type stats = {
   mutable submits : int;
@@ -24,6 +25,11 @@ type t = {
   batch_logs : bool;
   epoch_window_ns : int;
   mutable pump_active : bool;
+  mutable round_span : Trace.span;
+      (* Open "rote.round" span: begun by the first submit since the last
+         round completed — while its caller (a group-commit flush span) is
+         still open, so the parent link is well-formed — and ended when the
+         round that covers it finishes. *)
 }
 
 let create ?(attempts = 40) ?(retry_backoff_ns = 2_000_000) ?(batch_logs = true)
@@ -46,6 +52,7 @@ let create ?(attempts = 40) ?(retry_backoff_ns = 2_000_000) ?(batch_logs = true)
     batch_logs;
     epoch_window_ns;
     pump_active = false;
+    round_span = Trace.none;
   }
 
 let log_state t log =
@@ -96,8 +103,22 @@ let rec pump t ~attempts =
   | targets -> (
       let targets = if t.batch_logs then targets else [ List.hd targets ] in
       t.stats.rounds_started <- t.stats.rounds_started + 1;
+      if Trace.enabled () && t.round_span = Trace.none then
+        (* Back-to-back rounds drained by one pump run: targets landed while
+           the previous round was in flight, no submit span to parent on. *)
+        t.round_span <-
+          Trace.begin_span ~node:t.owner ~cat:"counter" "rote.round";
+      let end_round status =
+        let rs = t.round_span in
+        t.round_span <- Trace.none;
+        Trace.end_span rs
+          ~args:
+            [ ("targets", Trace.Int (List.length targets));
+              ("status", Trace.Str status) ]
+      in
       match Rote.increment_batch t.replica ~owner:t.owner ~targets with
       | Ok () ->
+          end_round "ok";
           List.iter
             (fun (log, value) ->
               let s = log_state t log in
@@ -117,6 +138,7 @@ let rec pump t ~attempts =
             pump t ~attempts:(attempts - 1)
           end
           else begin
+            end_round "no_quorum";
             t.pump_active <- false;
             fail_all_waiters t
           end)
@@ -127,10 +149,13 @@ let ensure_pump t =
     Sim.spawn t.sim (fun () -> pump t ~attempts:t.attempts)
   end
 
-let submit t ~log ~counter =
+let submit ?(span = Trace.none) t ~log ~counter =
   t.stats.submits <- t.stats.submits + 1;
   let s = log_state t log in
   if counter > s.target then s.target <- counter;
+  if Trace.enabled () && t.round_span = Trace.none then
+    t.round_span <-
+      Trace.begin_span ~parent:span ~node:t.owner ~cat:"counter" "rote.round";
   ensure_pump t
 
 let wait_stable t ~log ~counter =

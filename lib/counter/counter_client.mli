@@ -42,9 +42,14 @@ val create :
 
 val stats : t -> stats
 
-val submit : t -> log:string -> counter:int -> unit
+val submit :
+  ?span:Treaty_obs.Trace.span -> t -> log:string -> counter:int -> unit
 (** Note that [counter] has been appended to [log]; start (or piggyback on)
-    the epoch pump. Returns immediately. *)
+    the epoch pump. Returns immediately. When tracing, the first submit
+    since the last completed round opens the next ["rote.round"] span as a
+    child of [span] (typically the group-commit flush span, still open at
+    that point), so epoch rounds nest under the flush that triggered
+    them. *)
 
 val wait_stable :
   t -> log:string -> counter:int -> (unit, [ `Stability_timeout ]) result

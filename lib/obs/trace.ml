@@ -1,0 +1,193 @@
+type span = int
+
+let none = 0
+
+type arg = Int of int | Str of string
+
+type info = {
+  id : span;
+  parent : span;
+  node : int;
+  cat : string;
+  name : string;
+  start_ns : int;
+  mutable end_ns : int;
+  mutable args : (string * arg) list;
+}
+
+type state = {
+  mutable on : bool;
+  mutable clock : unit -> int;
+  mutable rev_spans : info list;
+  mutable next_id : int;
+  by_id : (int, info) Hashtbl.t;
+  (* (coord, tx_seq, op_id) -> span: cross-node parent registrations. *)
+  ctx : (int * int * int, int) Hashtbl.t;
+}
+
+let state =
+  {
+    on = false;
+    clock = (fun () -> 0);
+    rev_spans = [];
+    next_id = 1;
+    by_id = Hashtbl.create 256;
+    ctx = Hashtbl.create 64;
+  }
+
+let enabled () = state.on
+
+let enable ~clock =
+  state.on <- true;
+  state.clock <- clock
+
+let disable () = state.on <- false
+
+let reset () =
+  state.rev_spans <- [];
+  state.next_id <- 1;
+  Hashtbl.reset state.by_id;
+  Hashtbl.reset state.ctx
+
+let begin_span ?(parent = none) ?(args = []) ~node ~cat name =
+  if not state.on then none
+  else begin
+    let id = state.next_id in
+    state.next_id <- id + 1;
+    let s =
+      { id; parent; node; cat; name; start_ns = state.clock (); end_ns = -1;
+        args }
+    in
+    state.rev_spans <- s :: state.rev_spans;
+    Hashtbl.replace state.by_id id s;
+    id
+  end
+
+let add_args span args =
+  if state.on && span <> none && args <> [] then
+    match Hashtbl.find_opt state.by_id span with
+    | None -> ()
+    | Some s -> s.args <- s.args @ args
+
+let end_span ?(args = []) span =
+  if state.on && span <> none then
+    match Hashtbl.find_opt state.by_id span with
+    | None -> ()
+    | Some s ->
+        if s.end_ns < 0 then s.end_ns <- state.clock ();
+        if args <> [] then s.args <- s.args @ args
+
+let ctx_register ~coord ~tx_seq ~op_id span =
+  if state.on && span <> none then
+    Hashtbl.replace state.ctx (coord, tx_seq, op_id) span
+
+let ctx_unregister ~coord ~tx_seq ~op_id =
+  if state.on then Hashtbl.remove state.ctx (coord, tx_seq, op_id)
+
+let ctx_resolve ~coord ~tx_seq ~op_id =
+  if not state.on then none
+  else
+    match Hashtbl.find_opt state.ctx (coord, tx_seq, op_id) with
+    | None -> none
+    | Some id -> (
+        (* A parent must be alive at child start; a closed registration
+           means the caller already gave up (timeout) — orphan the child
+           rather than violate well-formedness. *)
+        match Hashtbl.find_opt state.by_id id with
+        | Some s when s.end_ns < 0 -> id
+        | _ -> none)
+
+let spans () = List.rev state.rev_spans
+
+(* ---- Chrome trace_event export ---------------------------------------- *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* Microseconds with fixed three-decimal nanosecond precision: integer
+   arithmetic only, so rendering is byte-stable across runs. *)
+let add_us b ns = Printf.bprintf b "%d.%03d" (ns / 1000) (ns mod 1000)
+
+let root_of s =
+  let rec go id guard =
+    if guard = 0 then id
+    else
+      match Hashtbl.find_opt state.by_id id with
+      | Some p when p.parent <> none -> go p.parent (guard - 1)
+      | _ -> id
+  in
+  if s.parent = none then s.id else go s.parent 64
+
+let export_string () =
+  let all = spans () in
+  let close_at =
+    if state.on then state.clock ()
+    else
+      List.fold_left (fun m s -> max m (max s.start_ns s.end_ns)) 0 all
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b "\n"
+  in
+  (* Name the pid lanes. *)
+  let pids =
+    List.sort_uniq compare (List.map (fun s -> s.node) all)
+  in
+  List.iter
+    (fun pid ->
+      sep ();
+      Printf.bprintf b
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\
+         \"args\":{\"name\":\"node %d\"}}"
+        pid pid)
+    pids;
+  List.iter
+    (fun s ->
+      sep ();
+      let end_ns = if s.end_ns < 0 then max close_at s.start_ns else s.end_ns in
+      Buffer.add_string b "{\"name\":\"";
+      json_escape b s.name;
+      Buffer.add_string b "\",\"cat\":\"";
+      json_escape b s.cat;
+      Buffer.add_string b "\",\"ph\":\"X\",\"ts\":";
+      add_us b s.start_ns;
+      Buffer.add_string b ",\"dur\":";
+      add_us b (end_ns - s.start_ns);
+      Printf.bprintf b ",\"pid\":%d,\"tid\":%d,\"args\":{\"id\":%d" s.node
+        (root_of s) s.id;
+      if s.parent <> none then Printf.bprintf b ",\"parent\":%d" s.parent;
+      if s.end_ns < 0 then Buffer.add_string b ",\"unclosed\":1";
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string b ",\"";
+          json_escape b k;
+          Buffer.add_string b "\":";
+          match v with
+          | Int i -> Buffer.add_string b (string_of_int i)
+          | Str s ->
+              Buffer.add_char b '"';
+              json_escape b s;
+              Buffer.add_char b '"')
+        s.args;
+      Buffer.add_string b "}}")
+    all;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let export_file path =
+  let oc = open_out path in
+  output_string oc (export_string ());
+  close_out oc

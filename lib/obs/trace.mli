@@ -1,0 +1,81 @@
+(** Deterministic span tracing for the simulator.
+
+    A global collector (same idiom as {!Treaty_util.Sanitizer}) records
+    spans timestamped from an injected clock — the simulator passes
+    [Sim.now], so traces are a pure function of the seed. Spans form a
+    tree: a root span per transaction, children per 2PC phase, grandchildren
+    for lock waits, RPC calls, group-commit flushes and ROTE rounds.
+
+    Cross-node edges ride on the metadata the secure message format already
+    carries (§V): the caller registers its span under
+    [(coord, tx_seq, op_id)] before the message leaves, and the remote
+    handler resolves the same triple into a parent id. No wire change.
+
+    When disabled every entry point is a cheap branch-and-return, so
+    instrumented hot paths cost one call when [Config.profile] leaves
+    tracing off. *)
+
+type span = int
+(** Span identifier. [none] (= 0) is the absent span: passing it as a
+    parent makes a root; every operation on it is a no-op. *)
+
+val none : span
+
+type arg = Int of int | Str of string
+(** Span annotation values, rendered into the Chrome [args] object. *)
+
+val enabled : unit -> bool
+
+val enable : clock:(unit -> int) -> unit
+(** Start recording. [clock] supplies nanosecond timestamps and must be
+    deterministic (the sim clock, never wall time). *)
+
+val disable : unit -> unit
+(** Stop recording; the buffer is kept for export. *)
+
+val reset : unit -> unit
+(** Drop all recorded spans and cross-node registrations. *)
+
+val begin_span :
+  ?parent:span -> ?args:(string * arg) list -> node:int -> cat:string ->
+  string -> span
+(** Open a span on [node] (the Chrome pid lane). Returns [none] when
+    disabled. *)
+
+val end_span : ?args:(string * arg) list -> span -> unit
+(** Close a span, appending [args]. No-op on [none] or unknown ids. *)
+
+val add_args : span -> (string * arg) list -> unit
+
+val ctx_register : coord:int -> tx_seq:int -> op_id:int -> span -> unit
+(** Publish [span] as the cross-node parent for the message identified by
+    the at-most-once triple. Overwrites any previous registration. *)
+
+val ctx_unregister : coord:int -> tx_seq:int -> op_id:int -> unit
+
+val ctx_resolve : coord:int -> tx_seq:int -> op_id:int -> span
+(** Look up the registered parent; [none] if absent, already closed (the
+    caller timed out and moved on) or tracing is off. Non-consuming: a
+    prepare fan-out and its decision reuse the same registration. *)
+
+(** Test introspection: the raw span records, in creation order. *)
+type info = {
+  id : span;
+  parent : span;
+  node : int;
+  cat : string;
+  name : string;
+  start_ns : int;
+  mutable end_ns : int;  (** [-1] while the span is open. *)
+  mutable args : (string * arg) list;
+}
+
+val spans : unit -> info list
+
+val export_string : unit -> string
+(** Chrome [trace_event] JSON ("X" complete events, [ts]/[dur] in
+    microseconds, pid = node, tid = root-ancestor span). Deterministic:
+    same recorded spans ⇒ same bytes. Spans still open are closed at the
+    current clock and flagged [unclosed]. *)
+
+val export_file : string -> unit

@@ -3,6 +3,8 @@ module Enclave = Treaty_tee.Enclave
 module Mempool = Treaty_memalloc.Mempool
 module Net = Treaty_netsim.Net
 module Wire = Treaty_util.Wire
+module Trace = Treaty_obs.Trace
+module Metrics = Treaty_obs.Metrics
 
 type config = {
   transport : Transport.kind;
@@ -103,10 +105,19 @@ let flush_burst t ~dst wires =
       let bytes = String.length payload in
       t.stats.bursts_sent <- t.stats.bursts_sent + 1;
       t.stats.burst_msgs <- t.stats.burst_msgs + List.length wires;
+      let bspan =
+        if Trace.enabled () then
+          Trace.begin_span ~node:t.node_id ~cat:"rpc" "rpc.burst"
+            ~args:
+              [ ("msgs", Trace.Int (List.length wires));
+                ("bytes", Trace.Int bytes); ("dst", Trace.Int dst) ]
+        else Trace.none
+      in
       Transport.charge_burst t.config.params t.enclave t.config.transport
         ~dir:`Tx ~bytes ~msgs:(List.length wires);
       let frags = Transport.fragments (Enclave.cost t.enclave) ~bytes in
-      Net.send t.net ~src:t.node_id ~dst ~wire_overhead:(64 * frags) payload
+      Net.send t.net ~src:t.node_id ~dst ~wire_overhead:(64 * frags) payload;
+      Trace.end_span bspan
 
 let flush_all t =
   if not t.alive then Hashtbl.reset t.outq
@@ -223,9 +234,32 @@ let handle_request t (meta : Secure_msg.meta) data =
       match Hashtbl.find_opt t.handlers meta.kind with
       | None -> () (* unknown kind: drop; caller times out *)
       | Some handler ->
+          let hspan =
+            if Trace.enabled () then begin
+              let coord, tx_seq, op_id = key in
+              let parent = Trace.ctx_resolve ~coord ~tx_seq ~op_id in
+              let s =
+                Trace.begin_span ~parent ~node:t.node_id ~cat:"rpc"
+                  "rpc.handle"
+                  ~args:[ ("kind", Trace.Int meta.kind) ]
+              in
+              (* Re-point the registration at the handler span so spans the
+                 handler opens under the same triple nest beneath it; the
+                 caller's own registration is restored implicitly — nothing
+                 else resolves this op after the handler returns. *)
+              Trace.ctx_register ~coord ~tx_seq ~op_id s;
+              s
+            end
+            else Trace.none
+          in
           let running = Sim.ivar () in
           record_dedup t key (Running running);
           let payload = handler meta data in
+          if hspan <> Trace.none then begin
+            let coord, tx_seq, op_id = key in
+            Trace.ctx_unregister ~coord ~tx_seq ~op_id;
+            Trace.end_span hspan
+          end;
           (* The handler may have torn down this transaction's dedup state
              (commit/abort run [forget_tx] while finishing the tx); blindly
              re-inserting [Done] here would orphan the entry — present in
@@ -315,7 +349,7 @@ let stats t = t.stats
 let enclave t = t.enclave
 let register t ~kind handler = Hashtbl.replace t.handlers kind handler
 
-let call t ~dst ~kind ?coord ?tx_seq ?op_id ?timeout_ns payload =
+let call t ~dst ~kind ?coord ?tx_seq ?op_id ?timeout_ns ?span payload =
   let timeout_ns = Option.value timeout_ns ~default:t.config.timeout_ns in
   t.next_req_id <- t.next_req_id + 1;
   let req_id = t.next_req_id in
@@ -342,15 +376,38 @@ let call t ~dst ~kind ?coord ?tx_seq ?op_id ?timeout_ns payload =
     }
   in
   t.stats.requests_sent <- t.stats.requests_sent + 1;
+  let cspan =
+    if Trace.enabled () then begin
+      (* tx_seq stays out of the args: non-transactional identities embed
+         the process-global endpoint epoch, which differs between two
+         in-process runs of the same seed. *)
+      let s =
+        Trace.begin_span ?parent:span ~node:t.node_id ~cat:"rpc" "rpc.call"
+          ~args:[ ("kind", Trace.Int kind); ("dst", Trace.Int dst) ]
+      in
+      Trace.ctx_register ~coord ~tx_seq ~op_id s;
+      s
+    end
+    else Trace.none
+  in
+  let t0 = Sim.now t.sim in
+  let finish status result =
+    if cspan <> Trace.none then begin
+      Trace.ctx_unregister ~coord ~tx_seq ~op_id;
+      Trace.end_span cspan ~args:[ ("status", Trace.Str status) ]
+    end;
+    Metrics.observe "rpc.wait_ns" (Sim.now t.sim - t0);
+    result
+  in
   let iv = Sim.ivar () in
   Hashtbl.replace t.pending req_id iv;
   send_wire t ~dst meta payload;
   match Sim.read_timeout t.sim ~ns:timeout_ns iv with
-  | Some r -> r
+  | Some r -> finish "ok" r
   | None ->
       Hashtbl.remove t.pending req_id;
       t.stats.timeouts <- t.stats.timeouts + 1;
-      Error `Timeout
+      finish "timeout" (Error `Timeout)
 
 let shutdown t =
   t.alive <- false;

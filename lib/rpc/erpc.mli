@@ -90,11 +90,14 @@ val call :
   ?tx_seq:int ->
   ?op_id:int ->
   ?timeout_ns:int ->
+  ?span:Treaty_obs.Trace.span ->
   string ->
   (string, error) result
 (** Issue a request and block the current fiber until the response arrives
     or the timeout fires. The id triple defaults to a fresh, non-transactional
-    identity; 2PC passes the real (coord, tx, op). *)
+    identity; 2PC passes the real (coord, tx, op). When tracing, [span]
+    parents an [rpc.call] span whose id is registered under the triple so
+    the remote handler links to it ({!Treaty_obs.Trace.ctx_resolve}). *)
 
 val forget_tx : t -> coord:int -> tx_seq:int -> unit
 (** Drop the at-most-once response cache for a finished transaction. *)

@@ -4,13 +4,40 @@ type watchdog = {
   wd_report : string -> unit;
 }
 
+type fiber_profile = {
+  spawned : int;
+  completed : int;
+  wakeups : int;
+  run_ns : int;
+  suspended_ns : int;
+}
+
+(* Mutable aggregate per fiber label. [run_ns] is lifetime minus parked
+   time, credited at completion; [suspended_ns]/[wakeups] accrue at each
+   resume so long-lived fibers still show up. *)
+type agg = {
+  mutable a_spawned : int;
+  mutable a_completed : int;
+  mutable a_wakeups : int;
+  mutable a_run_ns : int;
+  mutable a_suspended_ns : int;
+}
+
+type profiler = {
+  pr_now : unit -> int;
+  per_label : (string, agg) Hashtbl.t;
+  (* fiber id -> (spawned-at, parked-ns accumulated so far). *)
+  active : (int, int * int ref) Hashtbl.t;
+}
+
 type t = {
   runq : (unit -> unit) Queue.t;
   mutable live : int;
   mutable next_fiber : int;
   mutable watchdog : watchdog option;
+  mutable profiler : profiler option;
   (* fiber id -> (label, suspended-at) for parked fibers, maintained only
-     while a watchdog is installed. *)
+     while a watchdog or profiler is installed. *)
   suspended : (int, string * int) Hashtbl.t;
   flagged : (int, unit) Hashtbl.t;
 }
@@ -25,6 +52,7 @@ let create () =
     live = 0;
     next_fiber = 0;
     watchdog = None;
+    profiler = None;
     suspended = Hashtbl.create 32;
     flagged = Hashtbl.create 8;
   }
@@ -32,13 +60,82 @@ let create () =
 let set_watchdog t ~now ~threshold ~report =
   t.watchdog <- Some { wd_now = now; wd_threshold = threshold; wd_report = report }
 
-let track_suspend t id label =
-  match t.watchdog with
+let set_profiler t ~now =
+  t.profiler <-
+    Some { pr_now = now; per_label = Hashtbl.create 16; active = Hashtbl.create 64 }
+
+let agg_for pr label =
+  let label = if label = "" then "anon" else label in
+  match Hashtbl.find_opt pr.per_label label with
+  | Some a -> a
+  | None ->
+      let a =
+        { a_spawned = 0; a_completed = 0; a_wakeups = 0; a_run_ns = 0;
+          a_suspended_ns = 0 }
+      in
+      Hashtbl.replace pr.per_label label a;
+      a
+
+let profile t =
+  match t.profiler with
+  | None -> []
+  | Some pr ->
+      Hashtbl.fold
+        (fun label a acc ->
+          ( label,
+            { spawned = a.a_spawned; completed = a.a_completed;
+              wakeups = a.a_wakeups; run_ns = a.a_run_ns;
+              suspended_ns = a.a_suspended_ns } )
+          :: acc)
+        pr.per_label []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let track_spawn t id label =
+  match t.profiler with
   | None -> ()
-  | Some wd -> Hashtbl.replace t.suspended id (label, wd.wd_now ())
+  | Some pr ->
+      let a = agg_for pr label in
+      a.a_spawned <- a.a_spawned + 1;
+      Hashtbl.replace pr.active id (pr.pr_now (), ref 0)
+
+let track_finish t id label =
+  match t.profiler with
+  | None -> ()
+  | Some pr -> (
+      match Hashtbl.find_opt pr.active id with
+      | None -> ()
+      | Some (started, parked) ->
+          Hashtbl.remove pr.active id;
+          let a = agg_for pr label in
+          a.a_completed <- a.a_completed + 1;
+          a.a_run_ns <- a.a_run_ns + (pr.pr_now () - started - !parked))
+
+let track_suspend t id label =
+  let tracked = t.watchdog <> None || t.profiler <> None in
+  if tracked then
+    let now =
+      match (t.watchdog, t.profiler) with
+      | Some wd, _ -> wd.wd_now ()
+      | None, Some pr -> pr.pr_now ()
+      | None, None -> 0
+    in
+    Hashtbl.replace t.suspended id (label, now)
 
 let track_resume t id =
-  if t.watchdog <> None then begin
+  (match t.profiler with
+  | None -> ()
+  | Some pr -> (
+      match Hashtbl.find_opt t.suspended id with
+      | None -> ()
+      | Some (label, since) ->
+          let a = agg_for pr label in
+          a.a_wakeups <- a.a_wakeups + 1;
+          let parked_ns = pr.pr_now () - since in
+          a.a_suspended_ns <- a.a_suspended_ns + parked_ns;
+          (match Hashtbl.find_opt pr.active id with
+          | Some (_, parked) -> parked := !parked + parked_ns
+          | None -> ())));
+  if t.watchdog <> None || t.profiler <> None then begin
     Hashtbl.remove t.suspended id;
     Hashtbl.remove t.flagged id
   end
@@ -63,8 +160,8 @@ let watchdog_scan t =
 let handler t ~id ~label =
   let open Effect.Deep in
   {
-    retc = (fun () -> t.live <- t.live - 1);
-    exnc = (fun e -> t.live <- t.live - 1; raise e);
+    retc = (fun () -> t.live <- t.live - 1; track_finish t id label);
+    exnc = (fun e -> t.live <- t.live - 1; track_finish t id label; raise e);
     effc =
       (fun (type a) (eff : a Effect.t) ->
         match eff with
@@ -86,6 +183,7 @@ let spawn ?(label = "") t f =
   t.live <- t.live + 1;
   t.next_fiber <- t.next_fiber + 1;
   let id = t.next_fiber in
+  track_spawn t id label;
   Queue.push (fun () -> Effect.Deep.match_with f () (handler t ~id ~label)) t.runq
 
 let yield t = Effect.perform (Yield t)

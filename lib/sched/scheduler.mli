@@ -33,6 +33,26 @@ val watchdog_scan : t -> unit
 (** Report fibers suspended beyond the watchdog threshold. No-op when no
     watchdog is installed. *)
 
+(** Per-label fiber aggregate from the profiler. [run_ns] is lifetime minus
+    parked time, credited when a fiber completes; [suspended_ns] and
+    [wakeups] accrue at every resume, so long-lived fibers (sweepers,
+    pumps) are visible before they exit. *)
+type fiber_profile = {
+  spawned : int;
+  completed : int;
+  wakeups : int;
+  run_ns : int;
+  suspended_ns : int;
+}
+
+val set_profiler : t -> now:(unit -> int) -> unit
+(** Start aggregating per-fiber scheduling statistics by spawn label, using
+    the injected (simulated) clock. Independent of the watchdog. *)
+
+val profile : t -> (string * fiber_profile) list
+(** Aggregates sorted by label; empty when no profiler is installed.
+    Unlabelled fibers aggregate under ["anon"]. *)
+
 val yield : t -> unit
 (** Re-enqueue the current fiber at the back of the run queue and run others.
     Must be called from within a fiber. *)

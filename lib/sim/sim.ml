@@ -26,10 +26,15 @@ let enable_fiber_watchdog t ~threshold_ns ~report =
   t.watchdog_every <- max 1_000_000 (threshold_ns / 4);
   t.watchdog_last_scan <- t.clock
 
+let enable_fiber_profile t =
+  Scheduler.set_profiler t.scheduler ~now:(fun () -> t.clock)
+
+let fiber_profile t = Scheduler.profile t.scheduler
+
 let now t = t.clock
 let rng t = t.root_rng
 let sched t = t.scheduler
-let spawn t f = Scheduler.spawn t.scheduler f
+let spawn ?label t f = Scheduler.spawn ?label t.scheduler f
 let yield t = Scheduler.yield t.scheduler
 
 let at t ~time fn =

@@ -25,7 +25,13 @@ val enable_fiber_watchdog :
     simulated time. Fibers still parked when the run drains to quiescence
     are abandoned by design and are not reported. *)
 
-val spawn : t -> (unit -> unit) -> unit
+val enable_fiber_profile : t -> unit
+(** Aggregate per-fiber scheduling statistics (by spawn label) on the sim
+    clock; read them back with {!fiber_profile}. *)
+
+val fiber_profile : t -> (string * Treaty_sched.Scheduler.fiber_profile) list
+
+val spawn : ?label:string -> t -> (unit -> unit) -> unit
 val yield : t -> unit
 
 val sleep : t -> int -> unit

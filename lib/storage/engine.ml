@@ -1,8 +1,10 @@
 module Sim = Treaty_sim.Sim
 module Enclave = Treaty_tee.Enclave
+module Trace = Treaty_obs.Trace
+module Metrics = Treaty_obs.Metrics
 
 type stability = {
-  submit : log:string -> counter:int -> unit;
+  submit : span:Trace.span -> log:string -> counter:int -> unit;
   wait_stable : log:string -> counter:int -> (unit, [ `Stability_timeout ]) result;
 }
 
@@ -10,7 +12,7 @@ exception Stability_timeout
 
 let noop_stability =
   {
-    submit = (fun ~log:_ ~counter:_ -> ());
+    submit = (fun ~span:_ ~log:_ ~counter:_ -> ());
     wait_stable = (fun ~log:_ ~counter:_ -> Ok ());
   }
 
@@ -77,6 +79,7 @@ type t = {
   ssd : Ssd.t;
   sec : Sec.t;
   config : config;
+  trace_node : int;  (* Chrome pid lane for this engine's spans *)
   stability : stability;
   manifest : Log_auth.t;
   clog : Log_auth.t;
@@ -148,24 +151,25 @@ let manifest_append t edit =
   if t.config.in_memory then ephemeral_counter t manifest_log
   else begin
     let c = Log_auth.append t.manifest (Manifest.encode edit) in
-    t.stability.submit ~log:manifest_log ~counter:c;
+    t.stability.submit ~span:Trace.none ~log:manifest_log ~counter:c;
     c
   end
 
-let wal_append t record =
+let wal_append t ?(span = Trace.none) record =
   t.stats.wal_appends <- t.stats.wal_appends + 1;
   if t.config.in_memory then ephemeral_counter t (Log_auth.name t.wal)
   else begin
     let c = Log_auth.append t.wal (Wal_record.encode record) in
-    t.stability.submit ~log:(Log_auth.name t.wal) ~counter:c;
+    t.stability.submit ~span ~log:(Log_auth.name t.wal) ~counter:c;
     c
   end
 
 (* --- construction --------------------------------------------------- *)
 
 let mk_group t =
-  Group_commit.create t.sim ~window_ns:t.config.group_window_ns
-    ~flush:(fun items ->
+  Group_commit.create t.sim ~name:"wal" ~node:t.trace_node
+    ~window_ns:t.config.group_window_ns
+    ~flush:(fun fspan items ->
       (* Sequence, persist and apply the whole group atomically with respect
          to other WAL writers. *)
       Sim.Resource.acquire t.commit_lock;
@@ -175,7 +179,7 @@ let mk_group t =
       let record =
         Wal_record.Commit_batch (List.map (fun it -> (it.cseq, it.cwrites)) items)
       in
-      let counter = wal_append t record in
+      let counter = wal_append t ~span:fspan record in
       List.iter
         (fun it ->
           List.iter
@@ -187,30 +191,34 @@ let mk_group t =
         items;
       t.visible_seq <- t.last_alloc_seq;
       counter)
+    ()
 
 (* Clog group commit: a yield window of 2PC records (Begin/Decision/Finished
    across concurrent coordinated transactions) rides one authenticated
    append and one counter submission — every record in the window shares
    the batch's counter, so one stabilization round covers them all. *)
 let mk_clog_group t =
-  Group_commit.create t.sim ~window_ns:t.config.group_window_ns
-    ~flush:(fun records ->
+  Group_commit.create t.sim ~name:"clog" ~node:t.trace_node
+    ~window_ns:t.config.group_window_ns
+    ~flush:(fun fspan records ->
       let payload =
         match records with
         | [ record ] -> Clog_record.encode record
         | records -> Clog_record.encode (Clog_record.Batch records)
       in
       let c = Log_auth.append t.clog payload in
-      t.stability.submit ~log:clog_log ~counter:c;
+      t.stability.submit ~span:fspan ~log:clog_log ~counter:c;
       c)
+    ()
 
-let create_internal sim ssd sec cfg stability =
+let create_internal ?(node = 0) sim ssd sec cfg stability =
   let t =
     {
       sim;
       ssd;
       sec;
       config = cfg;
+      trace_node = node;
       stability;
       manifest = Log_auth.create ssd sec ~name:manifest_log;
       clog = Log_auth.create ssd sec ~name:clog_log;
@@ -240,8 +248,8 @@ let create_internal sim ssd sec cfg stability =
     t.clog_group <- Some (mk_clog_group t);
   t
 
-let create ssd sec cfg stability =
-  let t = create_internal (Ssd.sim ssd) ssd sec cfg stability in
+let create ?node ssd sec cfg stability =
+  let t = create_internal ?node (Ssd.sim ssd) ssd sec cfg stability in
   t.wal_manifest_counter <- manifest_append t (Manifest.New_wal { wal_id = 1 });
   t
 
@@ -635,16 +643,31 @@ let memtable_handle t = t.memtable
    or trusted-prefix recovery would drop the WAL altogether. Raises
    [Stability_timeout] when the counter group is unreachable — the entry is
    durable locally but NOT rollback-protected, so the caller must not ack. *)
-let wait_wal_entry_stable t ~counter =
+let wait_wal_entry_stable t ?span ~counter () =
   if not t.config.in_memory then begin
+    let wspan =
+      if Trace.enabled () then
+        Trace.begin_span ?parent:span ~node:t.trace_node ~cat:"storage"
+          "stab.wait"
+          ~args:[ ("counter", Trace.Int counter) ]
+      else Trace.none
+    in
+    let t0 = Sim.now t.sim in
+    let finish status =
+      Trace.end_span wspan ~args:[ ("status", Trace.Str status) ];
+      Metrics.observe "stab.wait_ns" (Sim.now t.sim - t0)
+    in
     let check = function
       | Ok () -> ()
-      | Error `Stability_timeout -> raise Stability_timeout
+      | Error `Stability_timeout ->
+          finish "timeout";
+          raise Stability_timeout
     in
     check (t.stability.wait_stable ~log:(Log_auth.name t.wal) ~counter);
     check
       (t.stability.wait_stable ~log:manifest_log
-         ~counter:t.wal_manifest_counter)
+         ~counter:t.wal_manifest_counter);
+    finish "ok"
   end
 
 let apply_writes t ~seq writes =
@@ -655,35 +678,37 @@ let apply_writes t ~seq writes =
       Memtable.add t.memtable ~key ~seq op)
     writes
 
-let commit t ~writes =
+let commit t ?span ~writes () =
   t.stats.commits <- t.stats.commits + 1;
   let counter, seq =
     match t.group with
     | Some group ->
         let item = { cwrites = writes; cseq = 0 } in
-        let counter = Group_commit.submit group item in
+        let counter = Group_commit.submit group ?span item in
         (counter, item.cseq)
     | None ->
         Sim.Resource.acquire t.commit_lock;
         Fun.protect ~finally:(fun () -> Sim.Resource.release t.commit_lock)
         @@ fun () ->
         let seq = next_seq t in
-        let counter = wal_append t (Wal_record.Commit_batch [ (seq, writes) ]) in
+        let counter =
+          wal_append t ?span (Wal_record.Commit_batch [ (seq, writes) ])
+        in
         apply_writes t ~seq writes;
         t.visible_seq <- t.last_alloc_seq;
         (counter, seq)
   in
-  if t.config.wait_commit_stable then wait_wal_entry_stable t ~counter;
+  if t.config.wait_commit_stable then wait_wal_entry_stable t ?span ~counter ();
   maybe_flush t;
   seq
 
-let prepare t ~tx ~writes =
+let prepare t ?span ~tx ~writes () =
   t.stats.prepares <- t.stats.prepares + 1;
   Sim.Resource.acquire t.commit_lock;
   let counter, wal_id =
     Fun.protect ~finally:(fun () -> Sim.Resource.release t.commit_lock)
     @@ fun () ->
-    let counter = wal_append t (Wal_record.Prepare (tx, writes)) in
+    let counter = wal_append t ?span (Wal_record.Prepare (tx, writes)) in
     Hashtbl.replace t.prepared tx (writes, t.wal_id);
     (match Hashtbl.find_opt t.wal_unresolved t.wal_id with
     | Some r -> incr r
@@ -692,7 +717,7 @@ let prepare t ~tx ~writes =
   in
   ignore wal_id;
   (* §V: participants only reply once the prepare entry is stabilized. *)
-  wait_wal_entry_stable t ~counter
+  wait_wal_entry_stable t ?span ~counter ()
 
 let resolve t ~tx ~commit =
   match Hashtbl.find_opt t.prepared tx with
@@ -725,18 +750,35 @@ let prepared_txs t = Hashtbl.fold (fun tx _ acc -> tx :: acc) t.prepared []
 
 (* --- Clog ------------------------------------------------------------- *)
 
-let clog_append t record =
+let clog_append t ?span record =
   t.stats.clog_appends <- t.stats.clog_appends + 1;
   if t.config.in_memory then ephemeral_counter t clog_log
   else
     match t.clog_group with
-    | Some group -> Group_commit.submit group record
+    | Some group -> Group_commit.submit group ?span record
     | None ->
         let c = Log_auth.append t.clog (Clog_record.encode record) in
-        t.stability.submit ~log:clog_log ~counter:c;
+        t.stability.submit
+          ~span:(Option.value span ~default:Trace.none)
+          ~log:clog_log ~counter:c;
         c
 
-let clog_wait_stable t ~counter = t.stability.wait_stable ~log:clog_log ~counter
+let clog_wait_stable t ?span ~counter () =
+  let wspan =
+    if Trace.enabled () then
+      Trace.begin_span ?parent:span ~node:t.trace_node ~cat:"storage"
+        "stab.wait"
+        ~args:[ ("log", Trace.Str clog_log); ("counter", Trace.Int counter) ]
+    else Trace.none
+  in
+  let t0 = Sim.now t.sim in
+  let r = t.stability.wait_stable ~log:clog_log ~counter in
+  Trace.end_span wspan
+    ~args:
+      [ ( "status",
+          Trace.Str (match r with Ok () -> "ok" | Error _ -> "timeout") ) ];
+  Metrics.observe "stab.wait_ns" (Sim.now t.sim - t0);
+  r
 
 let wal_group_stats t = Option.map Group_commit.stats t.group
 let clog_group_stats t = Option.map Group_commit.stats t.clog_group
@@ -752,9 +794,9 @@ let log_last_counters t =
 
 (* --- recovery --------------------------------------------------------- *)
 
-let recover ssd sec cfg stability ~trusted =
+let recover ?node ssd sec cfg stability ~trusted =
   let sim = Ssd.sim ssd in
-  let t = create_internal sim ssd sec cfg stability in
+  let t = create_internal ?node sim ssd sec cfg stability in
   let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
   let replay_log log =
     Log_auth.replay log ?trusted:(trusted (Log_auth.name log)) ()

@@ -16,8 +16,10 @@
     prefix never references deleted files. *)
 
 type stability = {
-  submit : log:string -> counter:int -> unit;
-      (** Kick off asynchronous stabilization of [counter] on [log]. *)
+  submit : span:Treaty_obs.Trace.span -> log:string -> counter:int -> unit;
+      (** Kick off asynchronous stabilization of [counter] on [log]. When
+          tracing, [span] (the group-commit flush span, [Trace.none]
+          otherwise) parents the ROTE epoch round carrying the target. *)
   wait_stable : log:string -> counter:int -> (unit, [ `Stability_timeout ]) result;
       (** Block the calling fiber until stabilized. [Error] means the
           counter service gave up (quorum unreachable past its retry
@@ -75,10 +77,12 @@ type recovery_info = {
 
 type t
 
-val create : Ssd.t -> Sec.t -> config -> stability -> t
-(** Initialize a fresh database on an empty SSD. *)
+val create : ?node:int -> Ssd.t -> Sec.t -> config -> stability -> t
+(** Initialize a fresh database on an empty SSD. [node] is the trace pid
+    lane this engine's spans render on (default 0). *)
 
 val recover :
+  ?node:int ->
   Ssd.t ->
   Sec.t ->
   config ->
@@ -112,14 +116,16 @@ val scan : t -> lo:string -> hi:string -> snapshot:int -> (string * string) list
     SSTable, keeps the freshest visible version of each key, drops
     tombstones. Results in key order. *)
 
-val commit : t -> writes:(string * Op.t) list -> int
+val commit :
+  t -> ?span:Treaty_obs.Trace.span -> writes:(string * Op.t) list -> unit -> int
 (** Durably commit one transaction's write set: appends to the WAL
     (group-committed with concurrent callers when enabled), applies to the
     MemTable at a freshly assigned sequence number (returned), publishes
     visibility, and if [wait_commit_stable] blocks until the WAL entry is
     rollback-protected. Raises {!Stability_timeout} if that wait fails —
     the writes are applied and locally durable, but the caller must not
-    acknowledge the transaction as committed. *)
+    acknowledge the transaction as committed. [span] parents the WAL flush
+    and stabilization-wait spans. *)
 
 val retain_snapshot : t -> int -> unit
 (** Pin a snapshot: compactions keep every version a transaction reading at
@@ -127,7 +133,13 @@ val retain_snapshot : t -> int -> unit
 
 val release_snapshot : t -> int -> unit
 
-val prepare : t -> tx:Wal_record.txid -> writes:(string * Op.t) list -> unit
+val prepare :
+  t ->
+  ?span:Treaty_obs.Trace.span ->
+  tx:Wal_record.txid ->
+  writes:(string * Op.t) list ->
+  unit ->
+  unit
 (** Participant prepare: persist the transaction's writes in the WAL and
     block until the entry is stable (§V: "participants delay replying back
     to the coordinator until the prepare entry in the log is stabilized").
@@ -143,13 +155,18 @@ val resolve : t -> tx:Wal_record.txid -> commit:bool -> int option
 
 val prepared_txs : t -> Wal_record.txid list
 
-val clog_append : t -> Clog_record.record -> int
+val clog_append : t -> ?span:Treaty_obs.Trace.span -> Clog_record.record -> int
 (** Append coordinator 2PC state; returns the Clog counter value. With
     [clog_group_commit] the record is merged into the current yield window
     (blocking until the window flushes) and the returned counter is shared
-    by every record in the window. *)
+    by every record in the window. [span] parents the Clog flush span. *)
 
-val clog_wait_stable : t -> counter:int -> (unit, [ `Stability_timeout ]) result
+val clog_wait_stable :
+  t ->
+  ?span:Treaty_obs.Trace.span ->
+  counter:int ->
+  unit ->
+  (unit, [ `Stability_timeout ]) result
 val clog_trim : t -> upto:int -> unit
 
 val wal_group_stats : t -> Group_commit.stats option

@@ -1,22 +1,26 @@
 module Sim = Treaty_sim.Sim
+module Trace = Treaty_obs.Trace
 
 type stats = { mutable batches : int; mutable items : int }
 
 type 'a t = {
   sim : Sim.t;
+  name : string;
+  node : int;
   window_ns : int;
-  flush : 'a list -> int;
-  mutable queue : ('a * int Sim.ivar) list;  (* newest first *)
+  flush : Trace.span -> 'a list -> int;
+  mutable queue : ('a * int Sim.ivar * Trace.span) list;  (* newest first *)
   mutable leader_active : bool;
   stats : stats;
 }
 
-let create sim ~window_ns ~flush =
-  { sim; window_ns; flush; queue = []; leader_active = false; stats = { batches = 0; items = 0 } }
+let create sim ?(name = "group") ?(node = 0) ~window_ns ~flush () =
+  { sim; name; node; window_ns; flush; queue = []; leader_active = false;
+    stats = { batches = 0; items = 0 } }
 
-let submit t item =
+let submit t ?(span = Trace.none) item =
   let iv = Sim.ivar () in
-  t.queue <- (item, iv) :: t.queue;
+  t.queue <- (item, iv, span) :: t.queue;
   if not t.leader_active then begin
     t.leader_active <- true;
     (* Defer logging so followers can join the group. *)
@@ -27,10 +31,25 @@ let submit t item =
     while t.queue <> [] do
       let batch = List.rev t.queue in
       t.queue <- [];
-      let counter = t.flush (List.map fst batch) in
+      (* The flush span parents on the first item's submit-site span: that
+         fiber is parked on its ivar until the flush returns, so the parent
+         is provably open for the whole child. *)
+      let fspan =
+        if Trace.enabled () then begin
+          let parent =
+            match batch with (_, _, s) :: _ -> s | [] -> Trace.none
+          in
+          Trace.begin_span ~parent ~node:t.node ~cat:"storage"
+            (t.name ^ ".flush")
+            ~args:[ ("items", Trace.Int (List.length batch)) ]
+        end
+        else Trace.none
+      in
+      let counter = t.flush fspan (List.map (fun (it, _, _) -> it) batch) in
+      Trace.end_span fspan ~args:[ ("counter", Trace.Int counter) ];
       t.stats.batches <- t.stats.batches + 1;
       t.stats.items <- t.stats.items + List.length batch;
-      List.iter (fun (_, biv) -> Sim.fill biv counter) batch
+      List.iter (fun (_, biv, _) -> Sim.fill biv counter) batch
     done;
     t.leader_active <- false
   end;

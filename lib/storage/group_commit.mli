@@ -15,11 +15,20 @@ type 'a t
 type stats = { mutable batches : int; mutable items : int }
 
 val create :
-  Treaty_sim.Sim.t -> window_ns:int -> flush:('a list -> int) -> 'a t
+  Treaty_sim.Sim.t ->
+  ?name:string ->
+  ?node:int ->
+  window_ns:int ->
+  flush:(Treaty_obs.Trace.span -> 'a list -> int) ->
+  unit ->
+  'a t
 (** [flush] writes one combined WAL entry for a batch and returns its log
-    counter. *)
+    counter. When tracing, each batch runs under a ["<name>.flush"] span on
+    pid lane [node], parented on the first item's submit-site span; the
+    flush callback receives it so counter submissions can chain further
+    ([Trace.none] when tracing is off). *)
 
-val submit : 'a t -> 'a -> int
+val submit : 'a t -> ?span:Treaty_obs.Trace.span -> 'a -> int
 (** Enqueue an item, becoming the leader if none is active; blocks until the
     batch containing the item is durable; returns its log counter. *)
 

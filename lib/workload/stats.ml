@@ -1,51 +1,29 @@
+module Hist = Treaty_obs.Metrics.Hist
+
 type t = {
-  mutable latencies : int list;  (* ns, unordered *)
-  mutable count : int;
+  hist : Hist.t;  (* latency_ns samples, log-scale buckets *)
   mutable aborts : int;
-  mutable sum : int;
 }
 
-let create () = { latencies = []; count = 0; aborts = 0; sum = 0 }
-
-let record t ~latency_ns =
-  t.latencies <- latency_ns :: t.latencies;
-  t.count <- t.count + 1;
-  t.sum <- t.sum + latency_ns
-
+let create () = { hist = Hist.create (); aborts = 0 }
+let record t ~latency_ns = Hist.record t.hist latency_ns
 let record_abort t = t.aborts <- t.aborts + 1
 
 let merge a b =
-  {
-    latencies = a.latencies @ b.latencies;
-    count = a.count + b.count;
-    aborts = a.aborts + b.aborts;
-    sum = a.sum + b.sum;
-  }
+  { hist = Hist.merge a.hist b.hist; aborts = a.aborts + b.aborts }
 
-let committed t = t.count
+let committed t = Hist.count t.hist
 let aborted t = t.aborts
 
 let throughput_tps t ~duration_ns =
   if duration_ns <= 0 then 0.0
-  else float_of_int t.count /. (float_of_int duration_ns /. 1e9)
+  else float_of_int (Hist.count t.hist) /. (float_of_int duration_ns /. 1e9)
 
-let mean_latency_ms t =
-  if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count /. 1e6
-
-let percentile_ms t p =
-  match t.latencies with
-  | [] -> 0.0
-  | l ->
-      let sorted = List.sort compare l in
-      let arr = Array.of_list sorted in
-      let idx =
-        int_of_float (ceil (p /. 100.0 *. float_of_int (Array.length arr))) - 1
-      in
-      let idx = max 0 (min (Array.length arr - 1) idx) in
-      float_of_int arr.(idx) /. 1e6
+let mean_latency_ms t = Hist.mean t.hist /. 1e6
+let percentile_ms t p = float_of_int (Hist.percentile t.hist p) /. 1e6
 
 let summary t ~duration_ns =
   Printf.sprintf "%d committed, %d aborted, %.1f tps, lat mean %.2f ms p50 %.2f p99 %.2f"
-    t.count t.aborts
+    (Hist.count t.hist) t.aborts
     (throughput_tps t ~duration_ns)
     (mean_latency_ms t) (percentile_ms t 50.0) (percentile_ms t 99.0)

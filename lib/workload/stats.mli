@@ -15,7 +15,12 @@ val aborted : t -> int
 
 val throughput_tps : t -> duration_ns:int -> float
 val mean_latency_ms : t -> float
+(** Exact (sum/count are kept precisely). *)
+
 val percentile_ms : t -> float -> float
-(** [percentile_ms t 99.0] — exact over all recorded samples. *)
+(** [percentile_ms t 99.0]. Samples live in a {!Treaty_obs.Metrics.Hist}
+    log-scale histogram (exact below ~1 µs, <0.2% relative error above), so
+    percentiles are bucket-resolution rather than exact — the price of O(1)
+    memory per sample instead of the old per-sample list. *)
 
 val summary : t -> duration_ns:int -> string

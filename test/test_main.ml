@@ -15,4 +15,5 @@ let () =
       ("sanitizer", Test_sanitizer.suite);
       ("chaos", Test_chaos.suite);
       ("workload", Test_workload.suite);
+      ("obs", Test_obs.suite);
     ]

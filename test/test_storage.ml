@@ -475,9 +475,11 @@ let group_commit_batching () =
   with_sim (fun sim ->
       let batches = ref [] in
       let g =
-        Group_commit.create sim ~window_ns:1000 ~flush:(fun items ->
+        Group_commit.create sim ~window_ns:1000
+          ~flush:(fun _fspan items ->
             batches := items :: !batches;
             List.length !batches)
+          ()
       in
       let results = ref [] in
       for i = 1 to 6 do
@@ -510,7 +512,7 @@ let clog_group_commit_batches () =
                 (Clog_record.Decision { tx_seq = i; commit = i mod 2 = 0 })
             in
             counters.(i) <- c;
-            (match Engine.clog_wait_stable eng ~counter:c with
+            (match Engine.clog_wait_stable eng ~counter:c () with
             | Ok () -> ()
             | Error `Stability_timeout -> Alcotest.fail "noop stability timed out");
             decr pending)
@@ -583,7 +585,8 @@ let engine_compaction_cascade () =
       for i = 0 to 4_000 do
         ignore
           (Engine.commit eng
-             ~writes:[ (Printf.sprintf "k%04d" (i mod 800), Op.Put (String.make 100 'v')) ])
+             ~writes:[ (Printf.sprintf "k%04d" (i mod 800), Op.Put (String.make 100 'v')) ]
+             ())
       done;
       Sim.sleep sim 500_000_000 (* let background flushes drain *);
       Alcotest.(check bool) "flushed" true ((Engine.stats eng).flushes > 0);
@@ -602,14 +605,15 @@ let engine_scan () =
       for i = 0 to 499 do
         ignore
           (Engine.commit eng
-             ~writes:[ (Printf.sprintf "scan%04d" i, Op.Put (Printf.sprintf "v%d" i)) ])
+             ~writes:[ (Printf.sprintf "scan%04d" i, Op.Put (Printf.sprintf "v%d" i)) ]
+             ())
       done;
       (* Overwrites and deletes inside the range. *)
-      ignore (Engine.commit eng ~writes:[ ("scan0100", Op.Put "overwritten") ]);
-      ignore (Engine.commit eng ~writes:[ ("scan0101", Op.Delete) ]);
+      ignore (Engine.commit eng ~writes:[ ("scan0100", Op.Put "overwritten") ] ());
+      ignore (Engine.commit eng ~writes:[ ("scan0101", Op.Delete) ] ());
       Engine.flush_now eng;
       (* More writes after the flush so the scan spans memtable + sstables. *)
-      ignore (Engine.commit eng ~writes:[ ("scan0102", Op.Put "post-flush") ]);
+      ignore (Engine.commit eng ~writes:[ ("scan0102", Op.Put "post-flush") ] ());
       let snap = Engine.snapshot eng in
       let result = Engine.scan eng ~lo:"scan0099" ~hi:"scan0104" ~snapshot:snap in
       Alcotest.(check (list (pair string string)))
@@ -634,7 +638,7 @@ let compaction_respects_pinned_snapshots () =
       (* Install v1 of a key, pin a snapshot that sees it, then bury it
          under many newer versions and force compactions: the pinned
          version must survive GC. *)
-      let s1 = Engine.commit eng ~writes:[ ("pinned", Op.Put "v1") ] in
+      let s1 = Engine.commit eng ~writes:[ ("pinned", Op.Put "v1") ] () in
       let snap = Engine.snapshot eng in
       Engine.retain_snapshot eng snap;
       for i = 0 to 2_000 do
@@ -644,7 +648,8 @@ let compaction_respects_pinned_snapshots () =
                [
                  ("pinned", Op.Put (Printf.sprintf "v%d" (i + 2)));
                  (Printf.sprintf "fill%04d" i, Op.Put (String.make 200 'f'));
-               ])
+               ]
+             ())
       done;
       Engine.flush_now eng;
       Engine.compact_now eng;
@@ -668,16 +673,16 @@ let engine_recovery_exact () =
       for i = 0 to 1500 do
         let k = Printf.sprintf "key%03d" (Treaty_sim.Rng.int rng 300) in
         if Treaty_sim.Rng.int rng 10 = 0 then begin
-          ignore (Engine.commit eng ~writes:[ (k, Op.Delete) ]);
+          ignore (Engine.commit eng ~writes:[ (k, Op.Delete) ] ());
           Hashtbl.replace expected k None
         end
         else begin
           let v = Printf.sprintf "v%d" i in
-          ignore (Engine.commit eng ~writes:[ (k, Op.Put v) ]);
+          ignore (Engine.commit eng ~writes:[ (k, Op.Put v) ] ());
           Hashtbl.replace expected k (Some v)
         end
       done;
-      Engine.prepare eng ~tx:(9, 1) ~writes:[ ("prepared-key", Op.Put "pv") ];
+      Engine.prepare eng ~tx:(9, 1) ~writes:[ ("prepared-key", Op.Put "pv") ] ();
       (* Crash: recover from the SSD with a fresh enclave/Sec. *)
       let sec2 = mk_sec sim in
       match Engine.recover ssd sec2 engine_cfg Engine.noop_stability ~trusted:(fun _ -> None) with
@@ -711,7 +716,7 @@ let engine_recovery_idempotent () =
       let ssd = Ssd.create sim Treaty_sim.Costmodel.default in
       let eng = Engine.create ssd sec engine_cfg Engine.noop_stability in
       for i = 0 to 200 do
-        ignore (Engine.commit eng ~writes:[ (Printf.sprintf "k%d" i, Op.Put "v") ])
+        ignore (Engine.commit eng ~writes:[ (Printf.sprintf "k%d" i, Op.Put "v") ] ())
       done;
       let recover () =
         match
@@ -734,7 +739,7 @@ let engine_recovery_idempotent () =
 let engine_duplicate_resolve_ignored () =
   with_sim (fun sim ->
       let eng, _, _ = mk_engine sim in
-      Engine.prepare eng ~tx:(1, 1) ~writes:[ ("k", Op.Put "v") ];
+      Engine.prepare eng ~tx:(1, 1) ~writes:[ ("k", Op.Put "v") ] ();
       (match Engine.resolve eng ~tx:(1, 1) ~commit:true with
       | Some _ -> ()
       | None -> Alcotest.fail "first resolve failed");
@@ -761,10 +766,10 @@ let prop_engine_vs_model =
               let key = Printf.sprintf "key%02d" k in
               (match kind with
               | 0 ->
-                  ignore (Engine.commit !eng ~writes:[ (key, Op.Put v) ]);
+                  ignore (Engine.commit !eng ~writes:[ (key, Op.Put v) ] ());
                   Hashtbl.replace model key (Some v)
               | 1 ->
-                  ignore (Engine.commit !eng ~writes:[ (key, Op.Delete) ]);
+                  ignore (Engine.commit !eng ~writes:[ (key, Op.Delete) ] ());
                   Hashtbl.replace model key None
               | _ ->
                   (* read + compare *)

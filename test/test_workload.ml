@@ -67,8 +67,10 @@ let stats_percentiles () =
     W.Stats.record s ~latency_ns:(i * 1_000_000)
   done;
   Alcotest.(check int) "count" 100 (W.Stats.committed s);
-  Alcotest.(check (float 0.01)) "p50" 50.0 (W.Stats.percentile_ms s 50.0);
-  Alcotest.(check (float 0.01)) "p99" 99.0 (W.Stats.percentile_ms s 99.0);
+  (* Percentiles come from the log-scale obs histogram: exact rank selection
+     over bucket upper bounds, <=0.2% relative error above the exact range. *)
+  Alcotest.(check (float 0.2)) "p50" 50.0 (W.Stats.percentile_ms s 50.0);
+  Alcotest.(check (float 0.2)) "p99" 99.0 (W.Stats.percentile_ms s 99.0);
   Alcotest.(check (float 0.01)) "mean" 50.5 (W.Stats.mean_latency_ms s);
   Alcotest.(check (float 1.0)) "tps over 1s" 100.0
     (W.Stats.throughput_tps s ~duration_ns:1_000_000_000)

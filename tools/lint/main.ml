@@ -11,6 +11,10 @@
      key material and sealing live on the enclave side of the boundary.
    - hw-counter: Hw_counter (the raw SGX monotonic counter) is private to
      lib/tee; the rest of the tree uses Enclave / the ROTE protocol.
+   - obs-zone: the observability layer (lib/obs) watches the protocol, it
+     does not participate in it — no key material (Keys), no sealing
+     (Aead); Hw_counter is already banned there by hw-counter, and the
+     nondeterminism rules keep its clock injected.
    - nondeterminism: ambient sources of nondeterminism (Random,
      Unix.gettimeofday, Sys.time, Hashtbl.hash, Obj.magic) break the
      seeded-simulation reproducibility contract.
@@ -25,7 +29,7 @@
    one "path-suffix rule reason..." entry per line, reason mandatory, and
    unused entries are themselves reported so the list cannot rot. *)
 
-type zone = Crypto | Tee | Untrusted | Other
+type zone = Crypto | Tee | Untrusted | Obs | Other
 
 let contains hay needle =
   let lh = String.length hay and ln = String.length needle in
@@ -39,6 +43,7 @@ let zone_of path =
     contains path "lib/netsim/" || contains path "lib/memalloc/"
     || String.ends_with ~suffix:"lib/storage/ssd.ml" path
   then Untrusted
+  else if contains path "lib/obs/" then Obs
   else Other
 
 type violation = { file : string; line : int; rule : string; message : string }
@@ -78,6 +83,16 @@ let lint ~path structure =
               ( "hw-counter",
                 "raw SGX counter is private to lib/tee; use Enclave" ) )
           ])
+    @ (match zone with
+      | Obs ->
+          [ ( "Keys",
+              ( "obs-zone",
+                "the observability layer must not handle key material" ) );
+            ( "Aead",
+              ( "obs-zone",
+                "the observability layer must not seal or open data" ) )
+          ]
+      | _ -> [])
     @
     match zone with
     | Untrusted ->
@@ -281,6 +296,12 @@ let self_tests =
     ("lib/storage/engine.ml", "let x = Treaty_tee.Hw_counter.read c",
      [ "hw-counter" ]);
     ("lib/tee/enclave.ml", "let x = Hw_counter.read c", []);
+    ("lib/obs/trace.ml", "let k = Keys.master_of_secret s", [ "obs-zone" ]);
+    ("lib/obs/metrics.ml", "let x = Treaty_crypto.Aead.seal", [ "obs-zone" ]);
+    ("lib/obs/trace.ml", "let c = Hw_counter.read c", [ "hw-counter" ]);
+    ("lib/obs/trace.ml", "let t = Unix.gettimeofday ()",
+     [ "nondeterminism" ]);
+    ("lib/obs/trace.ml", "let x = Metrics.incr \"a\"", []);
     ("lib/core/node.ml", "let x = Random.int 5", [ "nondeterminism" ]);
     ("lib/core/node.ml", "open Random", [ "nondeterminism" ]);
     ("lib/core/node.ml", "let x = Unix.gettimeofday ()",
