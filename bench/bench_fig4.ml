@@ -12,10 +12,10 @@ module Enclave = Treaty_tee.Enclave
 
 let profiles =
   [
-    ("Native 2PC", { Config.tee = Enclave.Native; encryption = false; authentication = false; stabilization = false; batching = true; sanitize = false; trace = false; metrics = false });
-    ("Native w/ Enc", { Config.tee = Enclave.Native; encryption = true; authentication = false; stabilization = false; batching = true; sanitize = false; trace = false; metrics = false });
-    ("Secure w/o Enc", { Config.tee = Enclave.Scone; encryption = false; authentication = false; stabilization = false; batching = true; sanitize = false; trace = false; metrics = false });
-    ("Secure w/ Enc", { Config.tee = Enclave.Scone; encryption = true; authentication = false; stabilization = false; batching = true; sanitize = false; trace = false; metrics = false });
+    ("Native 2PC", { Config.tee = Enclave.Native; encryption = false; authentication = false; stabilization = false; batching = true; read_opt = true; block_cache_bytes = Config.default_block_cache_bytes; sanitize = false; trace = false; metrics = false });
+    ("Native w/ Enc", { Config.tee = Enclave.Native; encryption = true; authentication = false; stabilization = false; batching = true; read_opt = true; block_cache_bytes = Config.default_block_cache_bytes; sanitize = false; trace = false; metrics = false });
+    ("Secure w/o Enc", { Config.tee = Enclave.Scone; encryption = false; authentication = false; stabilization = false; batching = true; read_opt = true; block_cache_bytes = Config.default_block_cache_bytes; sanitize = false; trace = false; metrics = false });
+    ("Secure w/ Enc", { Config.tee = Enclave.Scone; encryption = true; authentication = false; stabilization = false; batching = true; read_opt = true; block_cache_bytes = Config.default_block_cache_bytes; sanitize = false; trace = false; metrics = false });
   ]
 
 (* Commit pipeline: full-stack treaty-enc-stab with the batching knob on and

@@ -14,6 +14,7 @@ let benches =
     ("tab1", "recovery overheads (Table I)", Bench_tab1.run);
     ("abl", "design ablations", Bench_ablation.run);
     ("micro", "micro-benchmarks (Bechamel)", Bench_micro.run);
+    ("read", "authenticated read path (Bloom + block cache)", Bench_read_path.run);
   ]
 
 let run_selected only full =
@@ -43,7 +44,7 @@ let run_selected only full =
 open Cmdliner
 
 let only =
-  let doc = "Comma-separated bench ids (fig3,fig4,fig5,fig6,fig7,fig8,tab1,abl,micro)." in
+  let doc = "Comma-separated bench ids (fig3,fig4,fig5,fig6,fig7,fig8,tab1,abl,micro,read)." in
   Arg.(value & opt (list string) [] & info [ "only" ] ~doc)
 
 let full =

@@ -59,10 +59,13 @@ let report_obs ~trace_file ~metrics cluster =
       Trace.export_file f;
       Printf.printf "trace: wrote %s (chrome://tracing or ui.perfetto.dev)\n" f
 
-let run_cmd profile no_batching sanitize nodes workload clients duration_ms
-    warehouses read_pct trace_file metrics =
+let run_cmd profile no_batching no_read_opt sanitize nodes workload clients
+    duration_ms warehouses read_pct trace_file metrics =
   let profile =
     if no_batching then { profile with Config.batching = false } else profile
+  in
+  let profile =
+    if no_read_opt then { profile with Config.read_opt = false } else profile
   in
   let profile = if sanitize then { profile with Config.sanitize = true } else profile in
   let profile =
@@ -231,8 +234,8 @@ let recover_cmd profile crash_after =
 
 (* --- chaos --------------------------------------------------------------- *)
 
-let chaos_cmd seeds first_seed nodes clients horizon_ms no_batching seed_opt
-    trace_file =
+let chaos_cmd seeds first_seed nodes clients horizon_ms no_batching no_read_opt
+    seed_opt trace_file =
   (* --seed N: run exactly that one seed (the replay-and-trace workflow). *)
   let seeds, first_seed =
     match seed_opt with Some s -> (1, s) | None -> (seeds, first_seed)
@@ -244,6 +247,7 @@ let chaos_cmd seeds first_seed nodes clients horizon_ms no_batching seed_opt
       clients;
       horizon_ns = horizon_ms * 1_000_000;
       batching = not no_batching;
+      read_opt = not no_read_opt;
       trace = trace_file <> None;
     }
   in
@@ -293,6 +297,13 @@ let no_batching_arg =
            ~doc:"Disable commit-pipeline batching (epoch stabilization, Clog \
                  group commit, RPC burst coalescing).")
 
+let no_read_opt_arg =
+  Arg.(value & flag
+       & info [ "no-read-opt" ]
+           ~doc:"Disable the authenticated read-path acceleration (SSTable \
+                 Bloom filters and the enclave verified block cache): every \
+                 point read verifies and decrypts its block from the SSD.")
+
 let sanitize_arg =
   Arg.(value & flag
        & info [ "sanitize" ]
@@ -321,8 +332,8 @@ let single_seed_arg =
            ~doc:"Run exactly this one seed (overrides --seeds/--first-seed).")
 
 let run_term =
-  Term.(const run_cmd $ profile_arg $ no_batching_arg $ sanitize_arg
-        $ nodes_arg $ workload_arg $ clients_arg $ duration_arg
+  Term.(const run_cmd $ profile_arg $ no_batching_arg $ no_read_opt_arg
+        $ sanitize_arg $ nodes_arg $ workload_arg $ clients_arg $ duration_arg
         $ warehouses_arg $ read_pct_arg $ trace_arg $ metrics_arg)
 
 let cmds =
@@ -340,7 +351,7 @@ let cmds =
             atomicity and leak-freedom after each.")
       Term.(const chaos_cmd $ seeds_arg $ first_seed_arg $ nodes_arg
             $ chaos_clients_arg $ horizon_arg $ no_batching_arg
-            $ single_seed_arg $ trace_arg);
+            $ no_read_opt_arg $ single_seed_arg $ trace_arg);
   ]
 
 let () =

@@ -14,6 +14,7 @@ type config = {
   keys_per_client : int;
   drain_ns : int;
   batching : bool;
+  read_opt : bool;
   trace : bool;
 }
 
@@ -29,6 +30,7 @@ let default_config =
     keys_per_client = 2;
     drain_ns = ms 1_500;
     batching = true;
+    read_opt = true;
     trace = false;
   }
 
@@ -55,6 +57,7 @@ let cluster_config cfg ~seed =
     {
       Config.treaty_enc_stab with
       batching = cfg.batching;
+      read_opt = cfg.read_opt;
       sanitize = true;
       trace = cfg.trace;
     }

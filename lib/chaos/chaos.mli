@@ -27,6 +27,11 @@ type config = {
       (** Run with the commit-pipeline batching profile knob; [false]
           exercises the unbatched (one round per log, one packet per
           message) path under the same fault schedules. *)
+  read_opt : bool;
+      (** Run with the authenticated read-path acceleration knob (Bloom
+          filters + verified block cache); [false] exercises the
+          verify-every-block path under the same fault schedules — recovery
+          must come out identical either way. *)
   trace : bool;
       (** Record a {!Treaty_obs.Trace} of the whole run (reset at cluster
           creation, frozen when {!run_seed} returns — the caller exports it).

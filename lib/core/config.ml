@@ -6,10 +6,14 @@ type security_profile = {
   authentication : bool;
   stabilization : bool;
   batching : bool;
+  read_opt : bool;
+  block_cache_bytes : int;
   sanitize : bool;
   trace : bool;
   metrics : bool;
 }
+
+let default_block_cache_bytes = 8 * 1024 * 1024
 
 let ds_rocksdb =
   {
@@ -18,6 +22,8 @@ let ds_rocksdb =
     authentication = false;
     stabilization = false;
     batching = true;
+    read_opt = true;
+    block_cache_bytes = default_block_cache_bytes;
     sanitize = false;
     trace = false;
     metrics = false;
@@ -30,6 +36,8 @@ let native_treaty =
     authentication = true;
     stabilization = false;
     batching = true;
+    read_opt = true;
+    block_cache_bytes = default_block_cache_bytes;
     sanitize = false;
     trace = false;
     metrics = false;
@@ -44,6 +52,8 @@ let treaty_no_enc =
     authentication = true;
     stabilization = false;
     batching = true;
+    read_opt = true;
+    block_cache_bytes = default_block_cache_bytes;
     sanitize = false;
     trace = false;
     metrics = false;
@@ -54,6 +64,7 @@ let treaty_enc_stab = { treaty_enc with stabilization = true }
 
 let profile_name p =
   let unbatched = if p.batching then "" else " unbatched" in
+  let unread = if p.read_opt then "" else " no-readopt" in
   let sanitized = if p.sanitize then " +san" else "" in
   (match (p.tee, p.encryption, p.authentication, p.stabilization) with
   | Enclave.Native, false, false, false -> "DS-RocksDB"
@@ -64,7 +75,7 @@ let profile_name p =
   | Enclave.Scone, true, true, true -> "Treaty w/ Enc w/ Stab"
   | Enclave.Native, _, _, _ -> "custom (native)"
   | Enclave.Scone, _, _, _ -> "custom (scone)")
-  ^ unbatched ^ sanitized
+  ^ unbatched ^ unread ^ sanitized
 
 type t = {
   profile : security_profile;
@@ -132,5 +143,7 @@ let with_profile t profile =
         t.engine with
         Treaty_storage.Engine.wait_commit_stable = profile.stabilization;
         clog_group_commit = profile.batching;
+        read_opt = profile.read_opt;
+        block_cache_bytes = profile.block_cache_bytes;
       };
   }

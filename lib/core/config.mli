@@ -16,6 +16,15 @@ type security_profile = {
           and RPC burst coalescing. [false] reproduces the pre-pipeline
           behaviour — one counter round per log, one Clog append and one
           packet per record/message. *)
+  read_opt : bool;
+      (** Authenticated read-path acceleration (the PR-5 ablation knob, on
+          in every named profile): per-SSTable Bloom filters consulted
+          before any block read, plus the enclave-resident verified block
+          cache. [false] reproduces the verify-every-block read path. *)
+  block_cache_bytes : int;
+      (** Byte budget for the verified block cache (enclave memory,
+          default 8 MiB); 0 disables the cache while keeping Bloom
+          filters. *)
   sanitize : bool;
       (** TreatySan runtime sanitizer (off in every named profile): lockset
           tracking in [Lock_table], the fiber-starvation watchdog, and —
@@ -33,6 +42,8 @@ type security_profile = {
           pipeline counters, fiber-scheduler profile
           ([treaty run --metrics]). *)
 }
+
+val default_block_cache_bytes : int
 
 val ds_rocksdb : security_profile
 (** Native 2PC over plain RocksDB-like storage: the paper's baseline. *)

@@ -81,7 +81,7 @@ let get_with_seq t key =
             | Types.Pessimistic -> Engine.snapshot t.engine
             | Types.Optimistic -> t.snapshot
           in
-          let lookup = Engine.get t.engine ~key ~snapshot:read_snapshot in
+          let lookup = Engine.get ~span:t.span t.engine ~key ~snapshot:read_snapshot in
           let seq_seen, value =
             match lookup with
             | Memtable.Found (seq, v) -> (seq, Some v)
@@ -103,7 +103,7 @@ let scan t ~lo ~hi =
   (* Discover the keys, then lock them, then re-read under the locks: a
      writer may commit between discovery and lock grant, and 2PL semantics
      require the returned values to be the locked (current) ones. *)
-  let discovered = Engine.scan t.engine ~lo ~hi ~snapshot in
+  let discovered = Engine.scan ~span:t.span t.engine ~lo ~hi ~snapshot in
   let rec lock_all = function
     | [] -> Ok ()
     | (key, _) :: rest -> (
@@ -122,7 +122,7 @@ let scan t ~lo ~hi =
       let committed =
         List.filter_map
           (fun (key, _) ->
-            match Engine.get t.engine ~key ~snapshot:read_snapshot with
+            match Engine.get ~span:t.span t.engine ~key ~snapshot:read_snapshot with
             | Memtable.Found (seq, v) ->
                 t.reads <- (key, seq) :: t.reads;
                 Some (key, v)
@@ -170,7 +170,7 @@ let validate_reads t =
   List.for_all
     (fun (key, seq_seen) ->
       let current =
-        match Engine.get t.engine ~key ~snapshot:(Engine.snapshot t.engine) with
+        match Engine.get ~span:t.span t.engine ~key ~snapshot:(Engine.snapshot t.engine) with
         | Memtable.Found (seq, _) | Memtable.Deleted seq -> seq
         | Memtable.Not_found -> 0
       in

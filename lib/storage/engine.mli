@@ -51,6 +51,15 @@ type config = {
       (** Skip all persistence (no WAL/MANIFEST/Clog writes, no flushes):
           isolates the 2PC protocol itself, as the paper's Figure 4 run
           "without any underlying storage". *)
+  read_opt : bool;
+      (** Authenticated read-path acceleration (the PR-5 ablation knob, on
+          in every named profile): Bloom-filter probes before block reads
+          and the verified block cache. [false] reproduces the
+          verify-every-block behaviour — fence-array lookups stay on either
+          way. *)
+  block_cache_bytes : int;
+      (** Byte budget for the verified block cache (enclave memory);
+          [0] disables the cache even with [read_opt]. *)
 }
 
 val default_config : config
@@ -64,6 +73,12 @@ type stats = {
   mutable sst_block_reads : int;
   mutable wal_appends : int;
   mutable clog_appends : int;
+  mutable cache_hits : int;  (** Block-cache hits (SSD read + verify + decrypt skipped). *)
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
+  mutable bloom_negatives : int;  (** Files skipped entirely by a Bloom probe. *)
+  mutable bloom_false_positives : int;
+      (** Bloom said "maybe", the verified block said no. *)
 }
 
 type recovery_info = {
@@ -107,14 +122,25 @@ val snapshot : t -> int
 val next_seq : t -> int
 (** Allocate the next commit sequence number. *)
 
-val get : t -> key:string -> snapshot:int -> Memtable.lookup
+val get :
+  ?span:Treaty_obs.Trace.span -> t -> key:string -> snapshot:int -> Memtable.lookup
 (** Point lookup at a snapshot: MemTable, then immutable MemTables, then L0
-    newest-first, then one file per deeper level. *)
+    newest-first, then (via fence-array binary search) the one candidate
+    file per deeper level. With [read_opt], each SSTable probe consults the
+    file's Bloom filter first and block reads go through the verified block
+    cache. [span] parents the [sst.read] spans of any block fetches. *)
 
-val scan : t -> lo:string -> hi:string -> snapshot:int -> (string * string) list
+val scan :
+  ?span:Treaty_obs.Trace.span ->
+  t ->
+  lo:string ->
+  hi:string ->
+  snapshot:int ->
+  (string * string) list
 (** Range scan at a snapshot: merges the MemTables and every overlapping
-    SSTable, keeps the freshest visible version of each key, drops
-    tombstones. Results in key order. *)
+    SSTable (block reads through the cache when enabled), keeps the
+    freshest visible version of each key, drops tombstones. Results in key
+    order. *)
 
 val commit :
   t -> ?span:Treaty_obs.Trace.span -> writes:(string * Op.t) list -> unit -> int
@@ -182,8 +208,18 @@ val flush_now : t -> unit
 (** Force MemTable rotation and wait for the flush to complete (tests). *)
 
 val compact_now : t -> unit
+(** Enqueue a full compaction pass and block until the background
+    compaction queue has drained (deterministic; tests). *)
+
+val compaction_idle : t -> bool
+(** No queued work and no compactor fiber running. *)
+
 val level_files : t -> int -> int
 (** Number of SSTables on a level (tests/benches). *)
+
+val cache_usage : t -> (int * int) option
+(** (used_bytes, capacity_bytes) of the verified block cache, [None] when
+    disabled. *)
 
 val memtable_handle : t -> Memtable.t
 (** The live MemTable — exposed for the host-memory tampering tests. *)

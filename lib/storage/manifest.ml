@@ -4,6 +4,7 @@ type file_meta = {
   file_id : int;
   level : int;
   footer_digest : string;
+  footer_version : int;  (* footer format the file was written with *)
   min_key : string;
   max_key : string;
   max_seq : int;  (* highest version in the file, for seq recovery *)
@@ -51,6 +52,7 @@ let encode edit =
       Wire.w64 b m.file_id;
       Wire.w32 b m.level;
       Wire.wstr b m.footer_digest;
+      Wire.w32 b m.footer_version;
       Wire.wstr b m.min_key;
       Wire.wstr b m.max_key;
       Wire.w64 b m.max_seq;
@@ -77,11 +79,13 @@ let decode payload =
       let file_id = Wire.r64 r in
       let level = Wire.r32 r in
       let footer_digest = Wire.rstr r in
+      let footer_version = Wire.r32 r in
       let min_key = Wire.rstr r in
       let max_key = Wire.rstr r in
       let max_seq = Wire.r64 r in
       let size = Wire.r64 r in
-      Add_file { file_id; level; footer_digest; min_key; max_key; max_seq; size }
+      Add_file
+        { file_id; level; footer_digest; footer_version; min_key; max_key; max_seq; size }
   | 2 ->
       let level = Wire.r32 r in
       let file_id = Wire.r64 r in

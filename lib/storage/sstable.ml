@@ -14,6 +14,8 @@ type handle = {
   file_id : int;
   name : string;
   index : block_meta array;
+  bloom : Bloom.t option;  (* None for format-v1 files: always "maybe" *)
+  version : int;
   hmin_key : string;
   hmax_key : string;
   data_bytes : int;
@@ -21,6 +23,7 @@ type handle = {
 
 let file_name ~file_id = Printf.sprintf "sst-%06d" file_id
 let magic = "TRTYSSTB"
+let footer_version = 2
 
 let encode_block entries =
   let b = Buffer.create 4096 in
@@ -42,8 +45,7 @@ let decode_block data =
       let op = Op.decode r in
       (key, seq, op))
 
-let encode_footer index =
-  let b = Buffer.create 1024 in
+let encode_index b index =
   Wire.wlist b
     (fun b m ->
       Wire.wstr b m.first_key;
@@ -51,11 +53,9 @@ let encode_footer index =
       Wire.w64 b m.offset;
       Wire.w64 b m.length;
       Wire.wstr b m.bhash)
-    (Array.to_list index);
-  Buffer.contents b
+    (Array.to_list index)
 
-let decode_footer data =
-  let r = Wire.reader data in
+let decode_index r =
   Wire.rlist r (fun r ->
       let first_key = Wire.rstr r in
       let last_key = Wire.rstr r in
@@ -64,6 +64,30 @@ let decode_footer data =
       let bhash = Wire.rstr r in
       { first_key; last_key; offset; length; bhash })
   |> Array.of_list
+
+(* Footer format v2 (PR 5): a version tag, the Bloom filter over the user
+   keys, then the block index. v1 footers are the bare index list — still
+   decoded for files recorded with [footer_version = 1] in the MANIFEST.
+   Either way the whole footer is covered by the digest in [Add_file], so
+   the filter is as tamper-evident as the index. *)
+let encode_footer bloom index =
+  let b = Buffer.create 1024 in
+  Wire.w8 b footer_version;
+  Bloom.encode b bloom;
+  encode_index b index;
+  Buffer.contents b
+
+let decode_footer ~version data =
+  let r = Wire.reader data in
+  match version with
+  | 1 -> (None, decode_index r)
+  | 2 ->
+      let tag = Wire.r8 r in
+      if tag <> footer_version then
+        raise (Wire.Malformed (Printf.sprintf "bad footer version tag %d" tag));
+      let bloom = Bloom.decode r in
+      (Some bloom, decode_index r)
+  | v -> raise (Wire.Malformed (Printf.sprintf "unknown footer version %d" v))
 
 (* Split sorted entries into blocks of roughly [block_bytes] plaintext,
    never splitting the versions of one user key across blocks. *)
@@ -92,6 +116,30 @@ let partition_blocks ~block_bytes entries =
   go entries;
   flush_cur ();
   List.rev !blocks
+
+(* The filter covers distinct user keys; entries arrive in internal-key
+   order, so distinct keys are adjacent. *)
+let bloom_of_entries entries =
+  let distinct =
+    List.fold_left
+      (fun (n, prev) (k, _, _) -> if Some k = prev then (n, prev) else (n + 1, Some k))
+      (0, None) entries
+    |> fst
+  in
+  let bloom = Bloom.create ~expected:distinct in
+  List.iter (fun (k, _, _) -> Bloom.add bloom k) entries;
+  bloom
+
+let account_bloom sec = function
+  | None -> ()
+  | Some bloom ->
+      (* The filter is enclave-resident for the file's lifetime. *)
+      Treaty_tee.Enclave.alloc_enclave (Sec.enclave sec) (Bloom.bytes bloom)
+
+let release sec h =
+  match h.bloom with
+  | None -> ()
+  | Some bloom -> Treaty_tee.Enclave.free_enclave (Sec.enclave sec) (Bloom.bytes bloom)
 
 let build ssd sec ~file_id ~block_bytes entries =
   if entries = [] then invalid_arg "Sstable.build: empty";
@@ -122,7 +170,8 @@ let build ssd sec ~file_id ~block_bytes entries =
     (partition_blocks ~block_bytes entries);
   let index = Array.of_list (List.rev !index) in
   let data_bytes = Buffer.length file in
-  let footer = encode_footer index in
+  let bloom = bloom_of_entries entries in
+  let footer = encode_footer bloom index in
   let footer_digest = Sec.digest sec footer in
   Buffer.add_string file footer;
   let tail = Buffer.create 16 in
@@ -130,11 +179,14 @@ let build ssd sec ~file_id ~block_bytes entries =
   Buffer.add_string tail magic;
   Buffer.add_string file (Buffer.contents tail);
   ignore (Ssd.append ssd ~enclave:(Sec.enclave sec) name (Buffer.contents file));
+  account_bloom sec (Some bloom);
   let handle =
     {
       file_id;
       name;
       index;
+      bloom = Some bloom;
+      version = footer_version;
       hmin_key = index.(0).first_key;
       hmax_key = index.(Array.length index - 1).last_key;
       data_bytes;
@@ -142,7 +194,7 @@ let build ssd sec ~file_id ~block_bytes entries =
   in
   (handle, footer_digest)
 
-let open_ ssd sec ~file_id ~footer_digest =
+let open_ ?(version = footer_version) ssd sec ~file_id ~footer_digest =
   let name = file_name ~file_id in
   let total = Ssd.size ssd name in
   let enclave = Sec.enclave sec in
@@ -157,15 +209,18 @@ let open_ ssd sec ~file_id ~footer_digest =
   let footer = Ssd.read ssd ~enclave name ~off:(total - 16 - footer_len) ~len:footer_len in
   Sec.check_digest sec ~what:(name ^ ": footer digest") ~data:footer
     ~expected:footer_digest;
-  let index =
-    try decode_footer footer
+  let bloom, index =
+    try decode_footer ~version footer
     with Wire.Malformed m -> raise (Sec.Integrity_violation (name ^ ": " ^ m))
   in
   if Array.length index = 0 then raise (Sec.Integrity_violation (name ^ ": empty index"));
+  account_bloom sec bloom;
   {
     file_id;
     name;
     index;
+    bloom;
+    version;
     hmin_key = index.(0).first_key;
     hmax_key = index.(Array.length index - 1).last_key;
     data_bytes = total - 16 - footer_len;
@@ -176,21 +231,30 @@ let min_key h = h.hmin_key
 let max_key h = h.hmax_key
 let data_bytes h = h.data_bytes
 let block_count h = Array.length h.index
+let format_version h = h.version
 
 let overlaps h ~min ~max = not (h.hmax_key < min || h.hmin_key > max)
 
-let read_block ssd sec h meta =
+let may_contain h key =
+  match h.bloom with None -> true | Some bloom -> Bloom.mem bloom key
+
+let read_stored_block ssd sec h meta =
   let stored =
     Ssd.read ssd ~enclave:(Sec.enclave sec) h.name ~off:meta.offset ~len:meta.length
   in
   Sec.check_digest sec ~what:(h.name ^ ": block hash") ~data:stored
     ~expected:meta.bhash;
   let plain = Sec.unprotect sec stored in
-  try decode_block plain
-  with Wire.Malformed m -> raise (Sec.Integrity_violation (h.name ^ ": " ^ m))
+  let entries =
+    try decode_block plain
+    with Wire.Malformed m -> raise (Sec.Integrity_violation (h.name ^ ": " ^ m))
+  in
+  (entries, plain)
+
+let read_block ssd sec h meta = fst (read_stored_block ssd sec h meta)
 
 (* Binary search for the block whose key range may contain [key]. *)
-let find_block h key =
+let find_block_idx h key =
   let lo = ref 0 and hi = ref (Array.length h.index - 1) and found = ref None in
   while !lo <= !hi do
     let mid = (!lo + !hi) / 2 in
@@ -198,22 +262,30 @@ let find_block h key =
     if key < m.first_key then hi := mid - 1
     else if key > m.last_key then lo := mid + 1
     else begin
-      found := Some m;
+      found := Some mid;
       lo := !hi + 1
     end
   done;
   !found
 
+let find_block h key = Option.map (fun i -> h.index.(i)) (find_block_idx h key)
+
+let read_block_idx ssd sec h idx = read_stored_block ssd sec h h.index.(idx)
+
+let block_span h idx =
+  let m = h.index.(idx) in
+  (m.first_key, m.last_key)
+
+let search_entries entries ~key ~max_seq =
+  (* Entries are (key asc, seq desc): first matching version wins. *)
+  List.find_map
+    (fun (k, seq, op) -> if k = key && seq <= max_seq then Some (seq, op) else None)
+    entries
+
 let get ssd sec h ~key ~max_seq =
   match find_block h key with
   | None -> None
-  | Some meta ->
-      let entries = read_block ssd sec h meta in
-      (* Entries are (key asc, seq desc): first matching version wins. *)
-      List.find_map
-        (fun (k, seq, op) ->
-          if k = key && seq <= max_seq then Some (seq, op) else None)
-        entries
+  | Some meta -> search_entries (read_block ssd sec h meta) ~key ~max_seq
 
 let load_all ssd sec h =
   Array.to_list h.index |> List.concat_map (read_block ssd sec h)

@@ -70,11 +70,17 @@ let quiescent_baseline () =
 let sweep_50_seeds () =
   let failures = ref [] in
   for seed = 1 to 50 do
-    (* Alternate the commit-pipeline batching knob across the sweep so
-       crash/partition faults land inside batch windows on half the seeds
-       and on the unbatched path on the other half. *)
+    (* Alternate the commit-pipeline batching and read-path acceleration
+       knobs across the sweep: crash/partition faults land inside batch
+       windows on half the seeds and on the unbatched path on the other
+       half, and each half also splits Bloom+block-cache reads vs the
+       verify-every-block path. *)
     let config =
-      { Chaos.default_config with Chaos.batching = seed mod 2 = 0 }
+      {
+        Chaos.default_config with
+        Chaos.batching = seed mod 2 = 0;
+        read_opt = seed mod 2 = 1;
+      }
     in
     match Chaos.run_seed ~config ~seed () with
     | Ok _ -> ()

@@ -430,6 +430,7 @@ let codec_roundtrips () =
           Manifest.file_id = 7;
           level = 2;
           footer_digest = "0123456789abcdef0123456789abcdef";
+          footer_version = Sstable.footer_version;
           min_key = "a";
           max_key = "zz";
           max_seq = 99;
@@ -453,6 +454,7 @@ let manifest_version_fold () =
       Manifest.file_id = id;
       level;
       footer_digest = "";
+      footer_version = 1;
       min_key = Printf.sprintf "%d" id;
       max_key = Printf.sprintf "%d" id;
       max_seq = 0;
@@ -793,6 +795,189 @@ let prop_engine_vs_model =
             ops);
       !result)
 
+(* --- bloom filter + block cache (PR 5) --------------------------------- *)
+
+let bloom_no_false_negatives () =
+  let n = 500 in
+  let b = Bloom.create ~expected:n in
+  for i = 0 to n - 1 do
+    Bloom.add b (Printf.sprintf "present-%04d" i)
+  done;
+  for i = 0 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "member %d" i)
+      true
+      (Bloom.mem b (Printf.sprintf "present-%04d" i))
+  done;
+  (* 10 bits/key, k=7: the false-positive rate on absent keys must sit
+     near the theoretical ~1%, and in particular far from 0% (filter works
+     at all) and far from 100% (filter filters at all). *)
+  let fps = ref 0 in
+  let probes = 10_000 in
+  for i = 0 to probes - 1 do
+    if Bloom.mem b (Printf.sprintf "absent-%05d" i) then incr fps
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "fp rate sane (%d/%d)" !fps probes)
+    true
+    (!fps > 0 && !fps < probes / 10)
+
+let bloom_codec_roundtrip () =
+  let b = Bloom.create ~expected:64 in
+  List.iter (Bloom.add b) [ "alpha"; "beta"; "gamma" ];
+  let buf = Buffer.create 128 in
+  Bloom.encode buf b;
+  let b2 = Bloom.decode (Treaty_util.Wire.reader (Buffer.contents buf)) in
+  List.iter
+    (fun k -> Alcotest.(check bool) k true (Bloom.mem b2 k))
+    [ "alpha"; "beta"; "gamma" ];
+  Alcotest.(check bool) "sizes match" true (Bloom.bytes b = Bloom.bytes b2)
+
+let block_cache_eviction_lru () =
+  let c = Block_cache.create ~capacity_bytes:1000 in
+  ignore (Block_cache.insert c ~file_id:1 ~block:0 ~bytes:300 "a");
+  ignore (Block_cache.insert c ~file_id:1 ~block:1 ~bytes:300 "b");
+  ignore (Block_cache.insert c ~file_id:1 ~block:2 ~bytes:300 "c");
+  (* Bump the oldest entry: it must survive the next eviction instead of
+     the (now least-recent) second entry. *)
+  Alcotest.(check (option string)) "bump a" (Some "a")
+    (Block_cache.find c ~file_id:1 ~block:0);
+  let freed = Block_cache.insert c ~file_id:1 ~block:3 ~bytes:300 "d" in
+  Alcotest.(check int) "evicted one entry's bytes" 300 freed;
+  Alcotest.(check int) "one eviction" 1 (Block_cache.stats c).Block_cache.evictions;
+  Alcotest.(check bool) "budget holds" true
+    (Block_cache.used_bytes c <= Block_cache.capacity_bytes c);
+  Alcotest.(check (option string)) "LRU victim was b" None
+    (Block_cache.find c ~file_id:1 ~block:1);
+  Alcotest.(check (option string)) "bumped a survived" (Some "a")
+    (Block_cache.find c ~file_id:1 ~block:0);
+  (* A value larger than the whole budget is refused, cache untouched. *)
+  Alcotest.(check int) "oversized refused" 0
+    (Block_cache.insert c ~file_id:9 ~block:0 ~bytes:5000 "huge");
+  Alcotest.(check (option string)) "oversized not cached" None
+    (Block_cache.find c ~file_id:9 ~block:0)
+
+let block_cache_invalidate () =
+  let c = Block_cache.create ~capacity_bytes:10_000 in
+  ignore (Block_cache.insert c ~file_id:1 ~block:0 ~bytes:100 "f1b0");
+  ignore (Block_cache.insert c ~file_id:2 ~block:0 ~bytes:100 "f2b0");
+  ignore (Block_cache.insert c ~file_id:1 ~block:1 ~bytes:100 "f1b1");
+  Alcotest.(check int) "freed file 1's bytes" 200
+    (Block_cache.invalidate_file c ~file_id:1);
+  Alcotest.(check (option string)) "file 1 block 0 gone" None
+    (Block_cache.find c ~file_id:1 ~block:0);
+  Alcotest.(check (option string)) "file 1 block 1 gone" None
+    (Block_cache.find c ~file_id:1 ~block:1);
+  Alcotest.(check (option string)) "file 2 untouched" (Some "f2b0")
+    (Block_cache.find c ~file_id:2 ~block:0);
+  Alcotest.(check int) "one entry left" 1 (Block_cache.entries c)
+
+let engine_read_opt_correctness () =
+  (* Bloom positives are only hints: every probe — resident, absent, or a
+     filter false positive — must be answered by the verified block. *)
+  with_sim (fun sim ->
+      let eng, _, _ = mk_engine sim in
+      for i = 0 to 399 do
+        ignore
+          (Engine.commit eng
+             ~writes:[ (Printf.sprintf "ro%04d" (2 * i), Op.Put (Printf.sprintf "v%d" i)) ]
+             ())
+      done;
+      Engine.flush_now eng;
+      let snap = Engine.snapshot eng in
+      for i = 0 to 399 do
+        (match Engine.get eng ~key:(Printf.sprintf "ro%04d" (2 * i)) ~snapshot:snap with
+        | Memtable.Found (_, v) ->
+            Alcotest.(check string) "resident value" (Printf.sprintf "v%d" i) v
+        | _ -> Alcotest.failf "resident key %d missing" i);
+        (* Odd keys interleave with residents: in every file's fence range,
+           so only the Bloom filter (or the block itself) rejects them. *)
+        match Engine.get eng ~key:(Printf.sprintf "ro%04d" ((2 * i) + 1)) ~snapshot:snap with
+        | Memtable.Not_found -> ()
+        | _ -> Alcotest.failf "absent key %d resurrected" i
+      done;
+      let s = Engine.stats eng in
+      Alcotest.(check bool) "bloom skipped most absent probes" true
+        (s.Engine.bloom_negatives > 300);
+      Alcotest.(check bool) "cache populated" true (s.Engine.cache_misses > 0))
+
+let engine_cache_invalidation_on_compaction () =
+  with_sim (fun sim ->
+      let eng, _, _ = mk_engine sim in
+      for i = 0 to 299 do
+        ignore
+          (Engine.commit eng
+             ~writes:[ (Printf.sprintf "ci%04d" i, Op.Put (Printf.sprintf "old%d" i)) ]
+             ())
+      done;
+      Engine.flush_now eng;
+      let snap = Engine.snapshot eng in
+      (* Two passes: the second hits the cache. *)
+      for pass = 1 to 2 do
+        ignore pass;
+        for i = 0 to 299 do
+          match Engine.get eng ~key:(Printf.sprintf "ci%04d" i) ~snapshot:snap with
+          | Memtable.Found _ -> ()
+          | _ -> Alcotest.failf "key %d missing pre-compaction" i
+        done
+      done;
+      Alcotest.(check bool) "cache warm" true ((Engine.stats eng).cache_hits > 0);
+      (* Overwrite everything and compact: the input files die, and with
+         them their cache entries — reads must see the new versions. *)
+      for i = 0 to 299 do
+        ignore
+          (Engine.commit eng
+             ~writes:[ (Printf.sprintf "ci%04d" i, Op.Put (Printf.sprintf "new%d" i)) ]
+             ())
+      done;
+      Engine.flush_now eng;
+      Engine.compact_now eng;
+      Alcotest.(check bool) "compacted" true ((Engine.stats eng).compactions > 0);
+      let snap2 = Engine.snapshot eng in
+      for i = 0 to 299 do
+        match Engine.get eng ~key:(Printf.sprintf "ci%04d" i) ~snapshot:snap2 with
+        | Memtable.Found (_, v) ->
+            Alcotest.(check string)
+              (Printf.sprintf "key %d post-compaction" i)
+              (Printf.sprintf "new%d" i)
+              v
+        | _ -> Alcotest.failf "key %d lost across compaction" i
+      done;
+      match Engine.cache_usage eng with
+      | None -> Alcotest.fail "cache disabled"
+      | Some (used, cap) ->
+          Alcotest.(check bool) "cache budget holds" true (used <= cap))
+
+let engine_cache_capacity_eviction () =
+  with_sim (fun sim ->
+      let sec = mk_sec sim in
+      let ssd = Ssd.create sim Treaty_sim.Costmodel.default in
+      (* A budget of a couple of blocks forces evictions as reads sweep. *)
+      let cfg = { engine_cfg with Engine.block_cache_bytes = 4 * 1024 } in
+      let eng = Engine.create ssd sec cfg Engine.noop_stability in
+      for i = 0 to 499 do
+        ignore
+          (Engine.commit eng
+             ~writes:[ (Printf.sprintf "ev%04d" i, Op.Put (String.make 100 'e')) ]
+             ())
+      done;
+      Engine.flush_now eng;
+      let snap = Engine.snapshot eng in
+      for pass = 1 to 2 do
+        ignore pass;
+        for i = 0 to 499 do
+          match Engine.get eng ~key:(Printf.sprintf "ev%04d" i) ~snapshot:snap with
+          | Memtable.Found _ -> ()
+          | _ -> Alcotest.failf "key %d missing" i
+        done
+      done;
+      let s = Engine.stats eng in
+      Alcotest.(check bool) "evictions happened" true (s.Engine.cache_evictions > 0);
+      match Engine.cache_usage eng with
+      | None -> Alcotest.fail "cache disabled"
+      | Some (used, cap) ->
+          Alcotest.(check bool) "budget never exceeded" true (used <= cap))
+
 let suite =
   [
     Alcotest.test_case "ssd basics + adversary ops" `Quick ssd_basics;
@@ -824,5 +1009,15 @@ let suite =
     Alcotest.test_case "engine recovery exact state" `Quick engine_recovery_exact;
     Alcotest.test_case "engine recovery idempotent" `Quick engine_recovery_idempotent;
     Alcotest.test_case "duplicate resolve ignored" `Quick engine_duplicate_resolve_ignored;
+    Alcotest.test_case "bloom no false negatives" `Quick bloom_no_false_negatives;
+    Alcotest.test_case "bloom codec roundtrip" `Quick bloom_codec_roundtrip;
+    Alcotest.test_case "block cache LRU eviction" `Quick block_cache_eviction_lru;
+    Alcotest.test_case "block cache file invalidation" `Quick block_cache_invalidate;
+    Alcotest.test_case "read-opt answers from verified blocks" `Quick
+      engine_read_opt_correctness;
+    Alcotest.test_case "compaction invalidates cached blocks" `Quick
+      engine_cache_invalidation_on_compaction;
+    Alcotest.test_case "cache eviction under a tight budget" `Quick
+      engine_cache_capacity_eviction;
     QCheck_alcotest.to_alcotest prop_engine_vs_model;
   ]

@@ -15,6 +15,12 @@
      does not participate in it — no key material (Keys), no sealing
      (Aead); Hw_counter is already banned there by hw-counter, and the
      nondeterminism rules keep its clock injected.
+   - cache-zone: the verified block cache (lib/storage/block_cache.ml)
+     holds decrypted, already-verified SSTable blocks in enclave memory;
+     it must stay pure bookkeeping — no Ssd (plaintext written back to the
+     untrusted disk) and no Net (plaintext on the wire). TreatySan taints
+     the cached bytes at runtime; this rule keeps the escape hatches out
+     of the module statically.
    - nondeterminism: ambient sources of nondeterminism (Random,
      Unix.gettimeofday, Sys.time, Hashtbl.hash, Obj.magic) break the
      seeded-simulation reproducibility contract.
@@ -54,6 +60,7 @@ let lint ~path structure =
   let zone = zone_of path in
   let base = Filename.basename path in
   let protocol_file = base = "node.ml" || base = "counter_client.ml" in
+  let cache_file = contains path "lib/storage/" && contains base "block_cache" in
   let out = ref [] in
   let report (loc : Location.t) rule message =
     out :=
@@ -93,6 +100,17 @@ let lint ~path structure =
                 "the observability layer must not seal or open data" ) )
           ]
       | _ -> [])
+    @ (if cache_file then
+         [ ( "Ssd",
+             ( "cache-zone",
+               "the block cache holds decrypted blocks; plaintext must \
+                never flow back to the untrusted SSD" ) );
+           ( "Net",
+             ( "cache-zone",
+               "the block cache holds decrypted blocks; plaintext must \
+                never reach the network" ) )
+         ]
+       else [])
     @
     match zone with
     | Untrusted ->
@@ -317,7 +335,13 @@ let self_tests =
     ("lib/core/node.ml", "let x () = assert false", [ "partial-failure" ]);
     ("lib/core/node.ml", "let x b = assert b", []);
     ("lib/core/node.ml", "let x = try f () with _ -> 0", []);
-    ("lib/core/node.ml", "let x = 1", [])
+    ("lib/core/node.ml", "let x = 1", []);
+    ("lib/storage/block_cache.ml", "let spill ssd e v = Ssd.append ssd e v",
+     [ "cache-zone" ]);
+    ("lib/storage/block_cache.ml",
+     "let leak net v = Treaty_netsim.Net.send net v", [ "cache-zone" ]);
+    ("lib/storage/block_cache.ml", "let t = Hashtbl.create 8", []);
+    ("lib/storage/engine.ml", "let x = Ssd.read ssd", [])
   ]
 
 let run_self_test () =
