@@ -15,14 +15,17 @@ module W = Treaty_workload
 
 let systems =
   [
-    ("DS-RocksDB", Config.ds_rocksdb);
-    ("Treaty w/o Enc", Config.treaty_no_enc);
-    ("Treaty w/ Enc", Config.treaty_enc);
-    ("Treaty w/ Enc w/ Stab", Config.treaty_enc_stab);
+    ("DS-RocksDB", Config.ds_rocksdb, Types.Pessimistic);
+    ("Treaty w/o Enc", Config.treaty_no_enc, Types.Pessimistic);
+    ("Treaty w/ Enc", Config.treaty_enc, Types.Pessimistic);
+    ("Treaty w/ Enc w/ Stab", Config.treaty_enc_stab, Types.Pessimistic);
+    (* cc ablation rider: TPC-C transactions are all read-write, so this
+       isolates OCC validation cost under contention (no ro fast path). *)
+    ("Treaty w/ Stab OCC", Config.treaty_enc_stab, Types.Optimistic);
   ]
 
-let tpcc_result sim profile ~tpcc_cfg ~clients =
-  let config = Common.base_config profile in
+let tpcc_result ?(isolation = Types.Pessimistic) sim profile ~tpcc_cfg ~clients =
+  let config = { (Common.base_config profile) with Config.isolation } in
   let nodes = config.Config.nodes in
   let route = W.Tpcc.route tpcc_cfg ~nodes in
   let cluster = Common.make_cluster sim config ~route () in
@@ -45,10 +48,10 @@ let run_warehouses ~label ~tpcc_cfg ~clients =
   Common.subsection label;
   let results =
     List.map
-      (fun (name, profile) ->
+      (fun (name, profile, isolation) ->
         let r = ref None in
         Common.run_sim (fun sim ->
-            r := Some (tpcc_result sim profile ~tpcc_cfg ~clients));
+            r := Some (tpcc_result ~isolation sim profile ~tpcc_cfg ~clients));
         (name, Option.get !r))
       systems
   in

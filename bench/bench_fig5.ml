@@ -11,12 +11,16 @@ module W = Treaty_workload
 
 let systems =
   [
-    ("DS-RocksDB", Config.ds_rocksdb);
-    ("Treaty w/o Enc", Config.treaty_no_enc);
-    ("Treaty w/ Enc", Config.treaty_enc);
-    ("Treaty w/ Enc w/ Stab", Config.treaty_enc_stab);
+    ("DS-RocksDB", Config.ds_rocksdb, Types.Pessimistic);
+    ("Treaty w/o Enc", Config.treaty_no_enc, Types.Pessimistic);
+    ("Treaty w/ Enc", Config.treaty_enc, Types.Pessimistic);
+    ("Treaty w/ Enc w/ Stab", Config.treaty_enc_stab, Types.Pessimistic);
     ( "Treaty w/ Stab unbatched",
-      { Config.treaty_enc_stab with Config.batching = false } );
+      { Config.treaty_enc_stab with Config.batching = false },
+      Types.Pessimistic );
+    (* cc ablation rider: same stack, OCC validation instead of 2PL, with
+       all-read transactions taking the read-only snapshot fast path. *)
+    ("Treaty w/ Stab OCC", Config.treaty_enc_stab, Types.Optimistic);
   ]
 
 let run_mix ~label ~read_fraction =
@@ -25,12 +29,12 @@ let run_mix ~label ~read_fraction =
   let clients = if !Common.full_mode then 96 else 64 in
   let results =
     List.map
-      (fun (name, profile) ->
+      (fun (name, profile, isolation) ->
         let r = ref None in
         Common.run_sim (fun sim ->
             r :=
               Some
-                (Common.ycsb_result sim profile ~ycsb ~clients
+                (Common.ycsb_result ~isolation sim profile ~ycsb ~clients
                    ~engine_overrides:Common.id_engine));
         (name, Option.get !r))
       systems

@@ -67,7 +67,7 @@ let load_ycsb cluster (cfg : W.Ycsb.config) =
   chunks keys;
   Client.disconnect loader
 
-let ycsb_txn cfg =
+let ycsb_txn ?(ro_fast_path = false) cfg =
   let generators = Hashtbl.create 16 in
   fun client ~client_index rng ->
     let g =
@@ -78,17 +78,22 @@ let ycsb_txn cfg =
           Hashtbl.replace generators client_index g;
           g
     in
-    W.Ycsb.run_txn client None (W.Ycsb.next_txn g)
+    W.Ycsb.run_txn ~ro_fast_path client None (W.Ycsb.next_txn g)
 
-(* Run one YCSB configuration on a fresh cluster with the given profile. *)
-let ycsb_result sim profile ~ycsb ~clients ~engine_overrides =
-  let config = base_config profile in
+(* Run one YCSB configuration on a fresh cluster with the given profile.
+   [isolation] selects the concurrency-control mode; under OCC all-read
+   transactions are declared read-only and take the snapshot fast path, as
+   the CLI does. *)
+let ycsb_result ?(isolation = Types.Pessimistic) sim profile ~ycsb ~clients
+    ~engine_overrides =
+  let config = { (base_config profile) with Config.isolation } in
   let config = { config with Config.engine = engine_overrides config.Config.engine } in
   let cluster = make_cluster sim config () in
   load_ycsb cluster ycsb;
+  let ro_fast_path = isolation = Types.Optimistic in
   let r =
     W.Driver.run_clients cluster ~clients ~duration_ns:(duration_ns ())
-      ~warmup_ns:(warmup_ns ()) ~txn:(ycsb_txn ycsb) ()
+      ~warmup_ns:(warmup_ns ()) ~txn:(ycsb_txn ~ro_fast_path ycsb) ()
   in
   Cluster.shutdown cluster;
   r

@@ -15,6 +15,7 @@ let benches =
     ("abl", "design ablations", Bench_ablation.run);
     ("micro", "micro-benchmarks (Bechamel)", Bench_micro.run);
     ("read", "authenticated read path (Bloom + block cache)", Bench_read_path.run);
+    ("cc", "concurrency-control ablation (2PL vs OCC + ro fast path)", Bench_cc.run);
   ]
 
 let run_selected only full =
@@ -44,7 +45,7 @@ let run_selected only full =
 open Cmdliner
 
 let only =
-  let doc = "Comma-separated bench ids (fig3,fig4,fig5,fig6,fig7,fig8,tab1,abl,micro,read)." in
+  let doc = "Comma-separated bench ids (fig3,fig4,fig5,fig6,fig7,fig8,tab1,abl,micro,read,cc)." in
   Arg.(value & opt (list string) [] & info [ "only" ] ~doc)
 
 let full =

@@ -59,7 +59,7 @@ let report_obs ~trace_file ~metrics cluster =
       Trace.export_file f;
       Printf.printf "trace: wrote %s (chrome://tracing or ui.perfetto.dev)\n" f
 
-let run_cmd profile no_batching no_read_opt sanitize nodes workload clients
+let run_cmd profile no_batching no_read_opt cc sanitize nodes workload clients
     duration_ms warehouses read_pct trace_file metrics =
   let profile =
     if no_batching then { profile with Config.batching = false } else profile
@@ -74,9 +74,13 @@ let run_cmd profile no_batching no_read_opt sanitize nodes workload clients
   if sanitize then Treaty_util.Sanitizer.reset ();
   let sim = Sim.create () in
   Sim.run sim (fun () ->
-      let config = mk_config profile nodes in
-      Printf.printf "profile: %s, %d nodes, %d clients, %s for %d ms\n%!"
-        (Config.profile_name profile) nodes clients workload duration_ms;
+      let config = { (mk_config profile nodes) with Config.isolation = cc } in
+      Printf.printf "profile: %s (%s), %d nodes, %d clients, %s for %d ms\n%!"
+        (Config.profile_name profile)
+        (match cc with
+        | Types.Pessimistic -> "2pl"
+        | Types.Optimistic -> "occ")
+        nodes clients workload duration_ms;
       match workload with
       | "ycsb" ->
           let cluster = bootstrap sim config () in
@@ -116,7 +120,11 @@ let run_cmd profile no_batching no_read_opt sanitize nodes workload clients
                       Hashtbl.replace gens client_index g;
                       g
                 in
-                W.Ycsb.run_txn client None (W.Ycsb.next_txn g))
+                (* Under OCC the client declares all-read transactions
+                   read-only so they take the zero-RPC snapshot path. *)
+                W.Ycsb.run_txn
+                  ~ro_fast_path:(cc = Types.Optimistic)
+                  client None (W.Ycsb.next_txn g))
               ()
           in
           Printf.printf "%s\n" (W.Stats.summary r.W.Driver.stats ~duration_ns:r.W.Driver.duration_ns);
@@ -235,7 +243,7 @@ let recover_cmd profile crash_after =
 (* --- chaos --------------------------------------------------------------- *)
 
 let chaos_cmd seeds first_seed nodes clients horizon_ms no_batching no_read_opt
-    seed_opt trace_file =
+    cc seed_opt trace_file =
   (* --seed N: run exactly that one seed (the replay-and-trace workflow). *)
   let seeds, first_seed =
     match seed_opt with Some s -> (1, s) | None -> (seeds, first_seed)
@@ -248,6 +256,7 @@ let chaos_cmd seeds first_seed nodes clients horizon_ms no_batching no_read_opt
       horizon_ns = horizon_ms * 1_000_000;
       batching = not no_batching;
       read_opt = not no_read_opt;
+      cc;
       trace = trace_file <> None;
     }
   in
@@ -304,6 +313,18 @@ let no_read_opt_arg =
                  Bloom filters and the enclave verified block cache): every \
                  point read verifies and decrypts its block from the SSD.")
 
+let cc_arg =
+  Arg.(value
+       & opt (enum [ ("2pl", Types.Pessimistic); ("occ", Types.Optimistic) ])
+           Types.Pessimistic
+       & info [ "cc" ]
+           ~doc:"Concurrency-control mode: $(docv). 2pl (default) takes \
+                 read/write locks as operations execute; occ buffers \
+                 lock-free reads against the begin snapshot and validates \
+                 them at prepare, and all-read transactions take the \
+                 zero-RPC read-only snapshot path."
+           ~docv:"2pl|occ")
+
 let sanitize_arg =
   Arg.(value & flag
        & info [ "sanitize" ]
@@ -333,8 +354,9 @@ let single_seed_arg =
 
 let run_term =
   Term.(const run_cmd $ profile_arg $ no_batching_arg $ no_read_opt_arg
-        $ sanitize_arg $ nodes_arg $ workload_arg $ clients_arg $ duration_arg
-        $ warehouses_arg $ read_pct_arg $ trace_arg $ metrics_arg)
+        $ cc_arg $ sanitize_arg $ nodes_arg $ workload_arg $ clients_arg
+        $ duration_arg $ warehouses_arg $ read_pct_arg $ trace_arg
+        $ metrics_arg)
 
 let cmds =
   [
@@ -351,7 +373,7 @@ let cmds =
             atomicity and leak-freedom after each.")
       Term.(const chaos_cmd $ seeds_arg $ first_seed_arg $ nodes_arg
             $ chaos_clients_arg $ horizon_arg $ no_batching_arg
-            $ no_read_opt_arg $ single_seed_arg $ trace_arg);
+            $ no_read_opt_arg $ cc_arg $ single_seed_arg $ trace_arg);
   ]
 
 let () =

@@ -15,6 +15,7 @@ type config = {
   drain_ns : int;
   batching : bool;
   read_opt : bool;
+  cc : Types.isolation;
   trace : bool;
 }
 
@@ -31,6 +32,7 @@ let default_config =
     drain_ns = ms 1_500;
     batching = true;
     read_opt = true;
+    cc = Types.Pessimistic;
     trace = false;
   }
 
@@ -65,6 +67,7 @@ let cluster_config cfg ~seed =
   {
     (Config.with_profile Config.default profile) with
     Config.nodes = cfg.nodes;
+    isolation = cfg.cc;
     record_history = true;
     decision_query_timeout_ns = ms 60;
     sweep_interval_ns = ms 100;
@@ -191,8 +194,33 @@ let spawn_workload sim workload_clients cfg ~seed ~t0 ~acked ~committed
       let counters = Array.make cfg.keys_per_client 0 in
       Sim.spawn sim (fun () ->
           while Sim.now sim - t0 < cfg.horizon_ns do
+            let dice = Rng.int rng 8 in
             let outcome =
-              if Rng.bool rng then begin
+              if dice >= 6 then begin
+                (* Read-only audit over the zero-RPC snapshot fast path: the
+                   reads land in the serializability history, so a snapshot
+                   that exposed a non-committed prefix would fail the seed. *)
+                let a = Rng.int rng cfg.accounts in
+                let b =
+                  (a + 1 + Rng.int rng (cfg.accounts - 1)) mod cfg.accounts
+                in
+                match Client.read_only c [ acct_key a; acct_key b ] with
+                | Error e -> Error e
+                | Ok kvs ->
+                    List.iter
+                      (fun (k, v) ->
+                        match v with
+                        | None -> failf "ro audit: account %s vanished" k
+                        | Some v -> (
+                            match int_of_string_opt v with
+                            | Some _ -> ()
+                            | None ->
+                                failf "ro audit: %s has malformed balance %S"
+                                  k v))
+                      kvs;
+                    Ok ()
+              end
+              else if dice >= 3 then begin
                 (* Bank transfer between two distinct accounts: read both
                    balances, move a random amount. Conservation of the total
                    is the atomicity invariant. *)

@@ -32,6 +32,11 @@ type config = {
           filters + verified block cache); [false] exercises the
           verify-every-block path under the same fault schedules — recovery
           must come out identical either way. *)
+  cc : Treaty_core.Types.isolation;
+      (** Concurrency-control mode for the whole cluster:
+          [Pessimistic] (2PL, the default) or [Optimistic]
+          (OCC — lock-free reads validated at prepare). The same fault
+          schedules and invariants apply under either mode. *)
   trace : bool;
       (** Record a {!Treaty_obs.Trace} of the whole run (reset at cluster
           creation, frozen when {!run_seed} returns — the caller exports it).

@@ -13,6 +13,9 @@ type t = {
   client_id : int;
   token : string;
   nodes : int array;
+  route : string -> int;
+      (* The cluster's shard map: read-only transactions are routed straight
+         to the owning node instead of through a 2PC coordinator. *)
   mutable rr : int;
   op_timeout : int;
 }
@@ -64,6 +67,7 @@ let connect cluster ~client_id =
           client_id;
           token;
           nodes = Array.of_list (Cluster.node_ids cluster);
+          route = (fun key -> Cluster.route_key cluster key);
           rr = client_id;
           op_timeout = config.client_op_timeout_ns;
         }
@@ -212,6 +216,77 @@ let rollback t txn =
   ignore
     (Erpc.call t.rpc ~dst:txn.t_coord ~kind:Node.k_client_abort
        ~timeout_ns:t.op_timeout (Buffer.contents b))
+
+(* Zero-RPC read-only fast path: declare the read set up front, group the
+   keys by owning node and ship each group as ONE RPC answered from a
+   retained MVCC snapshot — no begin/commit round, no locks, no
+   stabilization waits. Each per-owner batch is its own serializable
+   read-only transaction (a consistent prefix of that shard); a multi-shard
+   call therefore gets per-shard snapshot consistency, not one global
+   snapshot — callers that need cross-shard atomicity use {!with_txn}. *)
+let read_only t keys =
+  let groups = Hashtbl.create 4 in
+  let owners_rev = ref [] in
+  List.iter
+    (fun key ->
+      let owner = t.route key in
+      match Hashtbl.find_opt groups owner with
+      | Some batch -> batch := key :: !batch
+      | None ->
+          Hashtbl.add groups owner (ref [ key ]);
+          owners_rev := owner :: !owners_rev)
+    keys;
+  let results = Hashtbl.create 16 in
+  let rec fetch ~retry owner batch =
+    let b = Buffer.create 64 in
+    Wire.w64 b t.client_id;
+    Wire.wlist b Wire.wstr batch;
+    match
+      Erpc.call t.rpc ~dst:owner ~kind:Node.k_client_ro
+        ~timeout_ns:t.op_timeout (Buffer.contents b)
+    with
+    | Error (`Timeout | `Tampered) -> Error Types.Participant_failed
+    | Ok reply -> (
+        let r = Wire.reader reply in
+        match Wire.r8 r with
+        | exception Wire.Malformed _ -> Error Types.Participant_failed
+        | 0 -> (
+            match
+              Wire.rlist r (fun r ->
+                  if Wire.r8 r = 1 then Some (Wire.rstr r) else None)
+            with
+            | exception Wire.Malformed _ -> Error Types.Participant_failed
+            | values when List.length values = List.length batch ->
+                List.iter2
+                  (fun key v -> Hashtbl.replace results key v)
+                  batch values;
+                Ok ()
+            | _short -> Error Types.Participant_failed)
+        | 1 ->
+            (* The owner's stability guard timed out: the read set stayed
+               under in-flight writes for the whole lock-timeout budget. *)
+            Error Types.Lock_timeout
+        | 3 ->
+            (* Restarted node with an empty client registry: re-present the
+               CAS token and retry once, as begin_txn does. *)
+            if retry && register_with t owner then
+              fetch ~retry:false owner batch
+            else Error Types.Unauthenticated
+        | _ -> Error Types.Participant_failed)
+  in
+  let rec go = function
+    | [] ->
+        Ok
+          (List.map
+             (fun key ->
+               (key, Option.join (Hashtbl.find_opt results key)))
+             keys)
+    | owner :: rest -> (
+        match fetch ~retry:true owner (List.rev !(Hashtbl.find groups owner)) with
+        | Ok () -> go rest
+        | Error e -> Error e)
+  in
+  go (List.rev !owners_rev)
 
 let disconnect t = Erpc.shutdown t.rpc
 

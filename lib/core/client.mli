@@ -40,6 +40,16 @@ val scan : t -> txn -> lo:string -> hi:string -> (string * string) list Types.tx
     2PL the returned keys are read-locked (no gap locks: phantoms are
     possible). *)
 
+val read_only : t -> string list -> (string * string option) list Types.txn_result
+(** Zero-RPC read-only fast path: execute a client-declared read-only
+    transaction without begin/commit rounds, locks, 2PC or stabilization
+    waits. Keys are grouped by owning shard; each group is one RPC answered
+    from a retained MVCC snapshot at the owner. Results come back in input
+    order. Each per-shard batch is an individually serializable read-only
+    transaction (a consistent committed prefix of that shard); a call whose
+    keys span shards gets per-shard snapshot consistency, not one global
+    snapshot — use {!with_txn} when cross-shard atomicity matters. *)
+
 val put : t -> txn -> string -> string -> unit Types.txn_result
 val delete : t -> txn -> string -> unit Types.txn_result
 val commit : t -> txn -> unit Types.txn_result

@@ -331,11 +331,23 @@ let check_quiescent t =
   | l -> Error (String.concat "; " (List.rev l))
 
 let sanitize_check t =
-  (* Sweep every live node's lock table for residual holders, then judge
-     the run by the collected violations (warnings don't fail it). *)
-  Array.iter
-    (function
-      | Live n -> Lock_table.leak_check (Node.locks n)
+  (* Sweep every live node's lock table for residual holders and its engine
+     for orphaned snapshot retentions, then judge the run by the collected
+     violations (warnings don't fail it). An orphaned retention means some
+     path dropped a transaction without [Local_txn.finish] (or a read-only
+     fast-path read leaked its pin): the compaction GC watermark is stuck. *)
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Live n ->
+          Lock_table.leak_check (Node.locks n);
+          let pinned =
+            Treaty_storage.Engine.active_snapshot_count (Node.engine n)
+          in
+          if pinned > 0 then
+            Treaty_util.Sanitizer.record Treaty_util.Sanitizer.Snapshot_leak
+              (Printf.sprintf "node %d: %d snapshot retention(s) at quiesce"
+                 (i + 1) pinned)
       | Crashed _ -> ())
     t.nodes;
   (* No final watchdog scan: fibers still parked at drain-out were abandoned

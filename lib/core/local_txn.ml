@@ -17,6 +17,12 @@ type t = {
   mutable write_list : (string * Op.t) list;  (* newest first *)
   write_index : (string, Op.t) Hashtbl.t;
   mutable reads : (string * int) list;
+  read_index : (string, int) Hashtbl.t;
+      (* Mirrors [reads] for O(1) dedup: a read-read of the same key must
+         not record (or OCC-lock, or validate) the key twice. The first
+         observation wins — under 2PL the read lock held since then pins
+         the version, under OCC both reads are at the begin snapshot, so a
+         repeat observation can never legitimately differ. *)
   mutable buffer_bytes : int;
   mutable installed_seq : int option;
   mutable finished : bool;
@@ -36,6 +42,7 @@ let begin_ ?(span = Trace.none) ~engine ~locks ~isolation ~tx () =
     write_list = [];
     write_index = Hashtbl.create 8;
     reads = [];
+    read_index = Hashtbl.create 8;
     buffer_bytes = 0;
     installed_seq = None;
     finished = false;
@@ -64,6 +71,12 @@ let buffer_write t key op =
   Hashtbl.replace t.write_index key op;
   t.write_list <- (key, op) :: t.write_list
 
+let record_read t key seq =
+  if not (Hashtbl.mem t.read_index key) then begin
+    Hashtbl.add t.read_index key seq;
+    t.reads <- (key, seq) :: t.reads
+  end
+
 let get_with_seq t key =
   match Hashtbl.find_opt t.write_index key with
   | Some (Op.Put v) -> Ok (Some v, 0) (* read-my-own-writes *)
@@ -88,7 +101,7 @@ let get_with_seq t key =
             | Memtable.Deleted seq -> (seq, None)
             | Memtable.Not_found -> (0, None)
           in
-          t.reads <- (key, seq_seen) :: t.reads;
+          record_read t key seq_seen;
           Ok (value, seq_seen))
 
 let get t key =
@@ -124,13 +137,13 @@ let scan t ~lo ~hi =
           (fun (key, _) ->
             match Engine.get ~span:t.span t.engine ~key ~snapshot:read_snapshot with
             | Memtable.Found (seq, v) ->
-                t.reads <- (key, seq) :: t.reads;
+                record_read t key seq;
                 Some (key, v)
             | Memtable.Deleted seq ->
-                t.reads <- (key, seq) :: t.reads;
+                record_read t key seq;
                 None
             | Memtable.Not_found ->
-                t.reads <- (key, 0) :: t.reads;
+                record_read t key 0;
                 None)
           discovered
       in

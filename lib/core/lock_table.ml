@@ -217,6 +217,11 @@ let leak_check t =
              (match !keys with k :: _ -> k | [] -> "")))
       t.owner_keys
 
+let write_locked t ~key =
+  match Hashtbl.find_opt (shard t key) key with
+  | None -> false
+  | Some l -> l.writer <> None
+
 let holds t ~owner ~key mode =
   let tbl = shard t key in
   match Hashtbl.find_opt tbl key with

@@ -58,6 +58,12 @@ val leak_check : t -> unit
 (** Report every owner still holding locks as a
     [Treaty_util.Sanitizer.Lock_leak]. Call at expected quiescence. *)
 
+val write_locked : t -> key:string -> bool
+(** Is any owner currently holding a write lock on [key]? The read-only
+    fast path's stability guard: a write-locked key has an install in
+    flight, so a snapshot read around it could observe an inconsistent
+    committed prefix. *)
+
 val holds : t -> owner:Types.txid -> key:string -> mode -> bool
 val locked_keys : t -> int
 (** Number of keys with at least one holder (tests). *)

@@ -29,12 +29,14 @@ let k_client_op = 12
 let k_client_scan = 15
 let k_client_commit = 13
 let k_client_abort = 14
+let k_client_ro = 16
 
 type stats = {
   mutable committed : int;
   mutable aborted : int;
   mutable distributed_committed : int;
   mutable single_node_committed : int;
+  mutable read_only_committed : int;
   mutable remote_ops_served : int;
   mutable decisions_queried : int;
 }
@@ -105,6 +107,7 @@ type residual = {
   res_part_txs : int;
   res_coord_txs : int;
   res_prepared : int;
+  res_snapshots : int;
 }
 
 let residual_state t =
@@ -114,15 +117,18 @@ let residual_state t =
     res_part_txs = Hashtbl.length t.part_txs;
     res_coord_txs = Hashtbl.length t.coord_txs;
     res_prepared = List.length (Engine.prepared_txs t.engine);
+    res_snapshots = Engine.active_snapshot_count t.engine;
   }
 
 let residual_total r =
   r.res_dedup + r.res_locked_keys + r.res_part_txs + r.res_coord_txs
-  + r.res_prepared
+  + r.res_prepared + r.res_snapshots
 
 let residual_to_string r =
-  Printf.sprintf "dedup=%d locked=%d part_txs=%d coord_txs=%d prepared=%d"
+  Printf.sprintf
+    "dedup=%d locked=%d part_txs=%d coord_txs=%d prepared=%d snapshots=%d"
     r.res_dedup r.res_locked_keys r.res_part_txs r.res_coord_txs r.res_prepared
+    r.res_snapshots
 
 let fresh_stats () =
   {
@@ -130,6 +136,7 @@ let fresh_stats () =
     aborted = 0;
     distributed_committed = 0;
     single_node_committed = 0;
+    read_only_committed = 0;
     remote_ops_served = 0;
     decisions_queried = 0;
   }
@@ -164,20 +171,24 @@ let op_key = function Cget k | Cput (k, _) | Cdel k -> k
 let op_is_write = function Cget _ -> false | Cput _ | Cdel _ -> true
 
 (* Op reply status byte. Every reply decode matches the full variant so a
-   new status can't be silently swallowed by a wildcard arm. *)
-type op_status = St_ok | St_lock_timeout | St_unknown_tx | St_unauth
+   new status can't be silently swallowed by a wildcard arm. [St_conflict]
+   is OCC's prepare-time validation failure — kept distinct from
+   [St_lock_timeout] so the coordinator's abort taxonomy can attribute it. *)
+type op_status = St_ok | St_lock_timeout | St_unknown_tx | St_unauth | St_conflict
 
 let status_code = function
   | St_ok -> 0
   | St_lock_timeout -> 1
   | St_unknown_tx -> 2
   | St_unauth -> 3
+  | St_conflict -> 4
 
 let status_of_code = function
   | 0 -> Some St_ok
   | 1 -> Some St_lock_timeout
   | 2 -> Some St_unknown_tx
   | 3 -> Some St_unauth
+  | 4 -> Some St_conflict
   | _unknown -> None
 
 let ok_value_reply value seq =
@@ -325,7 +336,8 @@ let handle_prepare t (meta : Secure_msg.meta) _payload =
       let hspan = handler_span meta in
       Local_txn.set_span ctx hspan;
       match Local_txn.prepare ctx with
-      | Error (`Conflict | `Timeout) -> status_reply St_lock_timeout
+      | Error `Conflict -> status_reply St_conflict
+      | Error `Timeout -> status_reply St_lock_timeout
       | Ok () -> (
           let writes = Local_txn.writes ctx in
           match
@@ -454,6 +466,12 @@ let remote_slice ctx node =
 (* Forward one op to the owning participant (Figure 2, steps 1-4). *)
 let forward_op t ctx ~span ~owner op =
   ctx.ct_next_op <- ctx.ct_next_op + 1;
+  (* Register the participant before the call, not on its reply: once the
+     request is on the wire the participant may have begun its slice (which
+     pins an engine snapshot and, under 2PL, holds locks) even if the op
+     then times out or the reply is lost — the eventual abort fan-out must
+     reach it rather than leaving the slice to the staleness sweeper. *)
+  ignore (remote_slice ctx owner);
   let b = Buffer.create 64 in
   encode_op b op;
   match
@@ -477,7 +495,7 @@ let forward_op t ctx ~span ~owner op =
           if op_is_write op then slice.r_written <- op_key op :: slice.r_written;
           Ok value
       | Some St_lock_timeout -> Error `Lock_timeout
-      | Some (St_unknown_tx | St_unauth) | None -> Error `Participant)
+      | Some (St_unknown_tx | St_unauth | St_conflict) | None -> Error `Participant)
 
 let handle_client_op t _meta payload =
   let r = Wire.reader payload in
@@ -554,6 +572,10 @@ let handle_client_scan t _meta payload =
             (fun node ->
               Sim.spawn t.deps.sim (fun () ->
                   ctx.ct_next_op <- ctx.ct_next_op + 1;
+                  (* As in forward_op: the peer becomes a participant the
+                     moment the scan request may reach it, so a failed or
+                     lost scan still gets the abort fan-out. *)
+                  ignore (remote_slice ctx node);
                   let b = Buffer.create 64 in
                   Wire.wstr b lo;
                   Wire.wstr b hi;
@@ -579,7 +601,9 @@ let handle_client_scan t _meta payload =
                               Hashtbl.replace results node kvs;
                               ignore (remote_slice ctx node)
                           | exception Wire.Malformed _ -> failed := true)
-                      | Some (St_lock_timeout | St_unknown_tx | St_unauth)
+                      | Some
+                          ( St_lock_timeout | St_unknown_tx | St_unauth
+                          | St_conflict )
                       | None ->
                           failed := true));
                   Latch.arrive latch))
@@ -615,8 +639,12 @@ let commit_distributed t ctx =
   ignore
     (Engine.clog_append t.engine ~span:pspan
        (Clog_record.Begin_2pc { tx_seq = ctx.ct_seq; participants = remotes }));
-  (* Prepare phase: all participants and the local slice, in parallel. *)
+  (* Prepare phase: all participants and the local slice, in parallel.
+     [conflict] remembers whether any FAIL vote was an OCC validation
+     conflict, so the abort is attributed to validation rather than to a
+     failed participant. *)
   let results = Hashtbl.create 8 in
+  let conflict = ref false in
   let latch = Latch.create (List.length remotes + 1) in
   List.iter
     (fun node ->
@@ -645,6 +673,9 @@ let commit_distributed t ctx =
                        slice.r_reads <- reads @ slice.r_reads
                      with Wire.Malformed _ -> ());
                     true
+                | Some St_conflict ->
+                    conflict := true;
+                    false
                 | Some (St_lock_timeout | St_unknown_tx | St_unauth) | None ->
                     false)
           in
@@ -654,7 +685,10 @@ let commit_distributed t ctx =
   Sim.spawn t.deps.sim (fun () ->
       let ok =
         match Local_txn.prepare ctx.ct_local with
-        | Error (`Conflict | `Timeout) -> false
+        | Error `Conflict ->
+            conflict := true;
+            false
+        | Error `Timeout -> false
         | Ok () -> (
             let writes = Local_txn.writes ctx.ct_local in
             match
@@ -742,8 +776,11 @@ let commit_distributed t ctx =
     Ok ()
   end
   else begin
-    let reason =
-      if prepared_ok then "stabilization_unavailable" else "participant_failed"
+    let reason, client_reason =
+      if prepared_ok then
+        ("stabilization_unavailable", Types.Stabilization_unavailable)
+      else if !conflict then ("validation_conflict", Types.Validation_failed)
+      else ("participant_failed", Types.Participant_failed)
     in
     abort_remote t ctx;
     ignore (Engine.resolve t.engine ~tx:(self, ctx.ct_seq) ~commit:false);
@@ -755,15 +792,13 @@ let commit_distributed t ctx =
     Trace.add_args ctx.ct_span
       [ ("status", Trace.Str "aborted"); ("reason", Trace.Str reason) ];
     finish_coord t ctx;
-    Error
-      (if prepared_ok then Types.Stabilization_unavailable
-       else Types.Participant_failed)
+    Error client_reason
   end
 
 let commit_single_node t ctx =
   match Local_txn.prepare ctx.ct_local with
   | Error `Conflict ->
-      abort_tx t ctx ~reason:"validation_failed";
+      abort_tx t ctx ~reason:"validation_conflict";
       Error Types.Validation_failed
   | Error `Timeout ->
       abort_tx t ctx ~reason:"lock_timeout";
@@ -853,6 +888,113 @@ let handle_client_abort t _meta payload =
           abort_tx t ctx ~reason:"client_abort";
           status_reply St_ok)
 
+(* Zero-RPC read-only fast path (§V / ROADMAP item 3): a client-declared
+   read-only transaction arrives as one RPC at the node owning its keys and
+   is answered entirely from a retained MVCC snapshot — zero lock
+   acquisitions, zero 2PC rounds, zero stabilization waits. Retaining the
+   snapshot pins the GC watermark so compaction cannot drop the versions
+   this read set is walking; the release is exception-safe because a leaked
+   retention would pin the watermark forever (TreatySan checks at quiesce).
+   Reads at a single node's committed snapshot are trivially serializable —
+   the transaction observes exactly the prefix at [snapshot] — which is why
+   the fast path only serves keys this node owns. *)
+let handle_client_ro t _meta payload =
+  let r = Wire.reader payload in
+  match
+    let client_id = Wire.r64 r in
+    let keys = Wire.rlist r Wire.rstr in
+    (client_id, keys)
+  with
+  | exception Wire.Malformed _ -> status_reply St_unauth
+  | client_id, keys ->
+      if not (Hashtbl.mem t.clients client_id) then status_reply St_unauth
+      else if
+        not (List.for_all (fun k -> t.deps.route k = t.deps.node_id) keys)
+      then
+        (* A misrouted key would silently read the wrong shard's (absent)
+           version; refuse rather than answer wrongly. *)
+        status_reply St_unknown_tx
+      else begin
+        let seq = alloc_tx_seq t in
+        let span =
+          Trace.begin_span ~node:t.deps.node_id ~cat:"txn" "txn.ro"
+            ~args:
+              [ ("tx_seq", Trace.Int seq);
+                ("client", Trace.Int client_id);
+                ("keys", Trace.Int (List.length keys)) ]
+        in
+        (* Stability guard. A requested key that is write-locked, or sits in
+           a prepared-but-unresolved 2PC write set, has an install in
+           flight — and the writing transaction may already be serialized
+           before writes this snapshot WOULD show (only its resolve here is
+           late). Reading around it could return a non-serializable prefix
+           ("causal reverse"). Spin lock-free until the read set is quiet:
+           writers install in bounded time, so under read-mostly load this
+           never blocks; if the keys stay hot past the lock-timeout budget
+           the transaction aborts exactly as a 2PL reader would. *)
+        let unstable () =
+          List.exists
+            (fun k ->
+              Lock_table.write_locked t.locks ~key:k
+              || Engine.key_prepared t.engine ~key:k)
+            keys
+        in
+        let backoff_ns = 100_000 in
+        let rec wait_stable budget_ns =
+          if not (unstable ()) then true
+          else if budget_ns <= 0 then false
+          else begin
+            Sim.sleep t.deps.sim backoff_ns;
+            wait_stable (budget_ns - backoff_ns)
+          end
+        in
+        if not (wait_stable t.deps.config.lock_timeout_ns) then begin
+          Trace.end_span span ~args:[ ("status", Trace.Str "unstable") ];
+          status_reply St_lock_timeout
+        end
+        else begin
+        let snapshot = Engine.snapshot t.engine in
+        Engine.retain_snapshot t.engine snapshot;
+        let results =
+          Fun.protect
+            ~finally:(fun () -> Engine.release_snapshot t.engine snapshot)
+            (fun () ->
+              List.map
+                (fun key ->
+                  match Engine.get ~span t.engine ~key ~snapshot with
+                  | Treaty_storage.Memtable.Found (s, v) -> (key, s, Some v)
+                  | Treaty_storage.Memtable.Deleted s -> (key, s, None)
+                  | Treaty_storage.Memtable.Not_found -> (key, 0, None))
+                keys)
+        in
+        (match t.deps.history with
+        | None -> ()
+        | Some h ->
+            let self = t.deps.node_id in
+            Serializability.record_commit h ~tx:(local_txid t seq)
+              ~reads:(List.map (fun (k, s, _) -> (namespaced self k, s)) results)
+              ~writes:[]);
+        t.stats.committed <- t.stats.committed + 1;
+        t.stats.read_only_committed <- t.stats.read_only_committed + 1;
+        Metrics.incr (Printf.sprintf "n%d.ro.txns" t.deps.node_id);
+        Metrics.incr
+          ~by:(List.length keys)
+          (Printf.sprintf "n%d.ro.keys" t.deps.node_id);
+        Trace.end_span span ~args:[ ("status", Trace.Str "committed") ];
+        let b = Buffer.create 256 in
+        Wire.w8 b (status_code St_ok);
+        Wire.wlist b
+          (fun b (_, _, v) ->
+            match v with
+            | Some s ->
+                Wire.w8 b 1;
+                Wire.wstr b s
+            | None -> Wire.w8 b 0)
+          results;
+        Buffer.contents b
+        end
+      end
+
 let authenticate_client t ~client_id ~token =
   let ok = Keys.verify_client_token t.deps.master ~client_id ~token in
   if ok then Hashtbl.replace t.clients client_id ();
@@ -884,7 +1026,8 @@ let register_handlers t =
   Erpc.register t.rpc ~kind:k_txn_scan (handle_txn_scan t);
   Erpc.register t.rpc ~kind:k_client_scan (handle_client_scan t);
   Erpc.register t.rpc ~kind:k_client_commit (handle_client_commit t);
-  Erpc.register t.rpc ~kind:k_client_abort (handle_client_abort t)
+  Erpc.register t.rpc ~kind:k_client_abort (handle_client_abort t);
+  Erpc.register t.rpc ~kind:k_client_ro (handle_client_ro t)
 
 (* Query a prepared transaction's coordinator and resolve it (cooperative
    termination): "c"/"a" are authoritative; "u" means the coordinator has no

@@ -27,11 +27,19 @@ val k_client_scan : int
 val k_client_commit : int
 val k_client_abort : int
 
+val k_client_ro : int
+(** Zero-RPC read-only fast path: one round trip executes a whole
+    client-declared read-only transaction against a retained MVCC snapshot
+    at the owning node — no locks, no 2PC, no stabilization wait. *)
+
 type stats = {
   mutable committed : int;
   mutable aborted : int;
   mutable distributed_committed : int;
   mutable single_node_committed : int;
+  mutable read_only_committed : int;
+      (** Committed via the snapshot fast path (also counted in
+          [committed]). *)
   mutable remote_ops_served : int;
   mutable decisions_queried : int;
 }
@@ -77,6 +85,10 @@ type residual = {
   res_part_txs : int;  (** Live participant transaction contexts. *)
   res_coord_txs : int;  (** Live coordinator transaction contexts. *)
   res_prepared : int;  (** Prepared, undecided transactions in the engine. *)
+  res_snapshots : int;
+      (** Outstanding engine snapshot retentions
+          ({!Treaty_storage.Engine.active_snapshot_count}) — a leak pins the
+          compaction GC watermark. *)
 }
 
 val residual_state : t -> residual

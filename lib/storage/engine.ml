@@ -292,6 +292,9 @@ let create ?node ssd sec cfg stability =
 let min_active_snapshot t =
   Hashtbl.fold (fun s _ acc -> min s acc) t.active_snapshots t.visible_seq
 
+let active_snapshot_count t =
+  Hashtbl.fold (fun _ n acc -> acc + n) t.active_snapshots 0
+
 let retain_snapshot t s =
   Hashtbl.replace t.active_snapshots s
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.active_snapshots s))
@@ -980,6 +983,12 @@ let resolve t ~tx ~commit =
       seq
 
 let prepared_txs t = Hashtbl.fold (fun tx _ acc -> tx :: acc) t.prepared []
+
+let key_prepared t ~key =
+  Hashtbl.fold
+    (fun _ (writes, _) acc ->
+      acc || List.exists (fun (k, _) -> String.equal k key) writes)
+    t.prepared false
 
 (* --- Clog ------------------------------------------------------------- *)
 

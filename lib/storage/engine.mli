@@ -159,6 +159,17 @@ val retain_snapshot : t -> int -> unit
 
 val release_snapshot : t -> int -> unit
 
+val min_active_snapshot : t -> int
+(** The compaction GC watermark: the lowest retained snapshot, or the
+    current visible sequence number when none is retained. Compaction may
+    drop a shadowed version only if a newer version is also at or below
+    this watermark. *)
+
+val active_snapshot_count : t -> int
+(** Total outstanding {!retain_snapshot} references. Zero at quiescence —
+    a transaction path that drops its context without releasing pins the
+    GC watermark; TreatySan checks this at the end of sanitized runs. *)
+
 val prepare :
   t ->
   ?span:Treaty_obs.Trace.span ->
@@ -180,6 +191,12 @@ val resolve : t -> tx:Wal_record.txid -> commit:bool -> int option
     §VI). *)
 
 val prepared_txs : t -> Wal_record.txid list
+
+val key_prepared : t -> key:string -> bool
+(** Does any prepared-but-unresolved transaction write [key]? Used by the
+    read-only fast path's stability guard: such a transaction may already
+    be globally decided (its resolve merely in flight here), so a snapshot
+    read around it could miss a write serialized before data it returns. *)
 
 val clog_append : t -> ?span:Treaty_obs.Trace.span -> Clog_record.record -> int
 (** Append coordinator 2PC state; returns the Clog counter value. With

@@ -4,6 +4,7 @@ type kind =
   | Lock_conflict
   | Fiber_stall
   | Plaintext
+  | Snapshot_leak
 
 type event = { kind : kind; detail : string }
 
@@ -13,12 +14,13 @@ let kind_to_string = function
   | Lock_conflict -> "lock-conflict"
   | Fiber_stall -> "fiber-stall"
   | Plaintext -> "plaintext"
+  | Snapshot_leak -> "snapshot-leak"
 
 (* Deadlock-suspect hold-and-wait timeouts are the system's by-design
    deadlock-resolution strategy (§V-B), so they are surfaced as warnings,
    not violations. *)
 let is_violation = function
-  | Lock_leak | Lock_zombie | Fiber_stall | Plaintext -> true
+  | Lock_leak | Lock_zombie | Fiber_stall | Plaintext | Snapshot_leak -> true
   | Lock_conflict -> false
 
 let max_events = 256

@@ -20,6 +20,10 @@ type kind =
   | Fiber_stall  (** Fiber suspended beyond the watchdog threshold. *)
   | Plaintext
       (** Registered plaintext buffer reached the network or host storage. *)
+  | Snapshot_leak
+      (** Engine MVCC snapshot still retained at quiescence: a transaction
+          path dropped its context without [Local_txn.finish], pinning the
+          compaction GC watermark. *)
 
 type event = { kind : kind; detail : string }
 

@@ -47,7 +47,25 @@ let next_txn g =
       if Rng.float g.rng 1.0 < g.config.read_fraction then Read key
       else Update (key, make_value g.config g.rng))
 
-let run_txn client coord ops =
+let run_txn ?(ro_fast_path = false) client coord ops =
+  let read_keys =
+    if ro_fast_path then
+      List.fold_left
+        (fun acc op ->
+          match (acc, op) with
+          | Some ks, Read k -> Some (k :: ks)
+          | _, Update _ | None, _ -> None)
+        (Some []) ops
+    else None
+  in
+  match read_keys with
+  | Some keys ->
+      (* Client-declared read-only transaction: one zero-RPC snapshot round
+         per owning shard instead of begin + per-op + commit rounds. *)
+      (match Client.read_only client (List.rev keys) with
+      | Ok _ -> Ok ()
+      | Error e -> Error e)
+  | None ->
   Client.with_txn client ?coord (fun txn ->
       let rec go = function
         | [] -> Ok ()

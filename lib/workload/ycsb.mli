@@ -39,8 +39,12 @@ val next_txn : generator -> op list
 (** One transaction's operation list. *)
 
 val run_txn :
+  ?ro_fast_path:bool ->
   Treaty_core.Client.t ->
   Treaty_core.Types.node_id option ->
   op list ->
   unit Treaty_core.Types.txn_result
-(** Execute the operations as one client transaction. *)
+(** Execute the operations as one client transaction. With [ro_fast_path]
+    (default off), an all-read transaction is declared read-only up front
+    and executed through {!Treaty_core.Client.read_only} — zero locks, no
+    2PC, one snapshot round per owning shard. *)

@@ -32,6 +32,29 @@ let run_reproducible () =
   Alcotest.(check string) "same fault schedule" sched_a sched_b;
   Alcotest.(check (triple int int int)) "same outcome counts" counts_a counts_b
 
+let cc_modes_reproducible () =
+  (* Determinism is per (seed, config): under either concurrency-control
+     mode, replaying a traced seed must reproduce byte-identical trace
+     JSON — the cc ablation may change outcomes but not determinism. *)
+  let trace_of cc =
+    let config = { Chaos.default_config with Chaos.cc; trace = true } in
+    (match Chaos.run_seed ~config ~seed:7 () with
+    | Ok _ -> ()
+    | Error m ->
+        Alcotest.failf "seed 7 (%s): %s"
+          (match cc with
+          | Types.Pessimistic -> "2pl"
+          | Types.Optimistic -> "occ")
+          m);
+    Treaty_obs.Trace.export_string ()
+  in
+  let occ_a = trace_of Types.Optimistic in
+  let occ_b = trace_of Types.Optimistic in
+  Alcotest.(check bool) "occ trace byte-identical" true (occ_a = occ_b);
+  let pess_a = trace_of Types.Pessimistic in
+  let pess_b = trace_of Types.Pessimistic in
+  Alcotest.(check bool) "2pl trace byte-identical" true (pess_a = pess_b)
+
 let quiescent_baseline () =
   (* Leak-freedom without any faults: after a quiet period covering the
      dedup TTL and a couple of sweeps, no node may retain at-most-once
@@ -70,16 +93,18 @@ let quiescent_baseline () =
 let sweep_50_seeds () =
   let failures = ref [] in
   for seed = 1 to 50 do
-    (* Alternate the commit-pipeline batching and read-path acceleration
-       knobs across the sweep: crash/partition faults land inside batch
-       windows on half the seeds and on the unbatched path on the other
-       half, and each half also splits Bloom+block-cache reads vs the
-       verify-every-block path. *)
+    (* Alternate the commit-pipeline batching, read-path acceleration and
+       concurrency-control knobs across the sweep: crash/partition faults
+       land inside batch windows on half the seeds and on the unbatched
+       path on the other half; each half also splits Bloom+block-cache
+       reads vs the verify-every-block path, and 2PL vs OCC (validation
+       aborts racing crashes and partitions). *)
     let config =
       {
         Chaos.default_config with
         Chaos.batching = seed mod 2 = 0;
         read_opt = seed mod 2 = 1;
+        cc = (if seed mod 2 = 0 then Types.Pessimistic else Types.Optimistic);
       }
     in
     match Chaos.run_seed ~config ~seed () with
@@ -97,6 +122,8 @@ let suite =
     Alcotest.test_case "schedule generation is deterministic" `Quick
       schedule_deterministic;
     Alcotest.test_case "same seed reproduces the run" `Quick run_reproducible;
+    Alcotest.test_case "cc modes are individually deterministic" `Quick
+      cc_modes_reproducible;
     Alcotest.test_case "fault-free runs drain to zero residual state" `Quick
       quiescent_baseline;
     Alcotest.test_case "50-seed fault sweep holds all invariants" `Slow

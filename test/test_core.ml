@@ -352,6 +352,211 @@ let occ_conflicts_abort () =
       Latch.wait (Sim.sched sim) l;
       check_serializable cluster)
 
+(* OCC conflict matrix, deterministic interleavings: a read invalidated by a
+   concurrent commit fails validation with the typed Validation_failed
+   abort; blind write-write does not conflict (nothing read, nothing to
+   validate); and the standard client recipe — rerun the transaction —
+   succeeds on retry. *)
+let occ_conflict_matrix () =
+  with_cluster ~isolation:Types.Optimistic ~route:explicit_route
+    (fun _sim cluster ->
+      let a = Client.connect_exn cluster ~client_id:1 in
+      let b = Client.connect_exn cluster ~client_id:2 in
+      (match
+         Client.with_txn a (fun txn ->
+             put_all a txn [ ("node1:k", "0"); ("node1:m", "0") ])
+       with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "setup: %s" (Types.abort_reason_to_string e));
+      (* Read-write conflict: A reads k, B commits a new version of k — A
+         must fail validation even though A only wrote m. *)
+      (match Client.begin_txn a ~coord:1 () with
+      | Error _ -> Alcotest.fail "begin"
+      | Ok txa ->
+          (match Client.get a txa "node1:k" with
+          | Ok (Some "0") -> ()
+          | _ -> Alcotest.fail "setup read");
+          (match
+             Client.with_txn b (fun txn -> Client.put b txn "node1:k" "1")
+           with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.failf
+                "OCC reads must not block writers, yet B aborted: %s"
+                (Types.abort_reason_to_string e));
+          (match Client.put a txa "node1:m" "1" with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.failf "buffered put: %s" (Types.abort_reason_to_string e));
+          (match Client.commit a txa with
+          | Error Types.Validation_failed -> ()
+          | Ok () -> Alcotest.fail "commit over a stale read"
+          | Error e ->
+              Alcotest.failf "wrong abort reason: %s"
+                (Types.abort_reason_to_string e)));
+      (* Retry after the validation abort: a fresh attempt of the same
+         read-modify-write goes through. *)
+      (match
+         Client.with_txn a (fun txn ->
+             match Client.get a txn "node1:k" with
+             | Ok (Some v) -> Client.put a txn "node1:m" (v ^ "!")
+             | _ -> Error Types.Integrity)
+       with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "retry aborted: %s" (Types.abort_reason_to_string e));
+      (* Write-write, no reads: blind writes validate nothing — both commit
+         (last writer wins is serializable). *)
+      (match Client.begin_txn a ~coord:1 () with
+      | Error _ -> Alcotest.fail "begin"
+      | Ok txa ->
+          (match Client.put a txa "node1:k" "a-blind" with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.failf "blind put: %s" (Types.abort_reason_to_string e));
+          (match
+             Client.with_txn b (fun txn -> Client.put b txn "node1:k" "b-blind")
+           with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.failf "B blind write: %s" (Types.abort_reason_to_string e));
+          (match Client.commit a txa with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.failf "blind write-write aborted: %s"
+                (Types.abort_reason_to_string e)));
+      check_serializable cluster;
+      Client.disconnect a;
+      Client.disconnect b)
+
+(* Distributed flavor: the stale read and the write land on different
+   nodes, so the validation failure surfaces through 2PC prepare (the new
+   St_conflict wire status) and still reaches the client as
+   Validation_failed. *)
+let occ_distributed_validation_abort () =
+  with_cluster ~isolation:Types.Optimistic ~route:explicit_route
+    (fun _sim cluster ->
+      let a = Client.connect_exn cluster ~client_id:1 in
+      let b = Client.connect_exn cluster ~client_id:2 in
+      (match
+         Client.with_txn a (fun txn -> Client.put a txn "node1:k" "0")
+       with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "setup: %s" (Types.abort_reason_to_string e));
+      (match Client.begin_txn a ~coord:1 () with
+      | Error _ -> Alcotest.fail "begin"
+      | Ok txa ->
+          (match Client.get a txa "node1:k" with
+          | Ok (Some "0") -> ()
+          | _ -> Alcotest.fail "setup read");
+          (match
+             Client.with_txn b (fun txn -> Client.put b txn "node1:k" "1")
+           with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.failf "B: %s" (Types.abort_reason_to_string e));
+          (match Client.put a txa "node2:y" "cross-shard" with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.failf "remote put: %s" (Types.abort_reason_to_string e));
+          (match Client.commit a txa with
+          | Error Types.Validation_failed -> ()
+          | Ok () -> Alcotest.fail "distributed commit over a stale read"
+          | Error e ->
+              Alcotest.failf "wrong abort reason: %s"
+                (Types.abort_reason_to_string e)));
+      (* The aborted write must not have leaked to node2. *)
+      (match
+         Client.with_txn a (fun txn ->
+             match Client.get a txn "node2:y" with
+             | Ok None -> Ok ()
+             | Ok (Some _) -> Error Types.Integrity
+             | Error e -> Error e)
+       with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "aborted write leaked: %s"
+            (Types.abort_reason_to_string e));
+      check_serializable cluster;
+      Client.disconnect a;
+      Client.disconnect b)
+
+(* --- read-only fast path ------------------------------------------------- *)
+
+let ro_fast_path isolation () =
+  with_cluster ~isolation ~route:explicit_route (fun _sim cluster ->
+      let c = Client.connect_exn cluster ~client_id:1 in
+      (match
+         Client.with_txn c (fun txn ->
+             put_all c txn
+               [ ("node1:a", "1"); ("node2:b", "2"); ("node3:c", "3") ])
+       with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "setup: %s" (Types.abort_reason_to_string e));
+      (match Client.read_only c [ "node3:c"; "node1:a"; "node1:zzz" ] with
+      | Error e ->
+          Alcotest.failf "ro failed: %s" (Types.abort_reason_to_string e)
+      | Ok kvs ->
+          Alcotest.(check (list (pair string (option string))))
+            "input order, missing key is None"
+            [ ("node3:c", Some "3"); ("node1:a", Some "1"); ("node1:zzz", None) ]
+            kvs);
+      (* Two owners served → two per-shard read-only transactions, all
+         counted, every snapshot retention released. *)
+      let ro_total =
+        List.fold_left
+          (fun acc i ->
+            acc + (Node.stats (Cluster.node cluster i)).Node.read_only_committed)
+          0 [ 0; 1; 2 ]
+      in
+      Alcotest.(check int) "per-shard ro txns" 2 ro_total;
+      List.iter
+        (fun i ->
+          Alcotest.(check int) "snapshot retentions drained" 0
+            (Engine.active_snapshot_count (Node.engine (Cluster.node cluster i))))
+        [ 0; 1; 2 ];
+      check_serializable cluster;
+      Client.disconnect c)
+
+(* The stability guard: a read-only request over a key with an in-flight
+   write parks (lock-free) until the writer resolves, then reads the
+   committed value — never the pre-commit one, which would be a
+   non-serializable prefix once the writer's commit is acked. *)
+let ro_waits_for_inflight_writer () =
+  with_cluster ~route:explicit_route (fun sim cluster ->
+      let a = Client.connect_exn cluster ~client_id:1 in
+      let r = Client.connect_exn cluster ~client_id:2 in
+      (match Client.with_txn a (fun txn -> Client.put a txn "node1:w" "0") with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "setup: %s" (Types.abort_reason_to_string e));
+      match Client.begin_txn a ~coord:1 () with
+      | Error _ -> Alcotest.fail "begin"
+      | Ok txa ->
+          (match Client.put a txa "node1:w" "1" with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "put: %s" (Types.abort_reason_to_string e));
+          let got = ref None in
+          Sim.spawn sim (fun () -> got := Some (Client.read_only r [ "node1:w" ]));
+          (* Enough time for the reader to reach the node and park on the
+             guard (backoff is 100 µs; the lock-timeout budget is 40 ms). *)
+          Sim.sleep sim 2_000_000;
+          Alcotest.(check bool) "reader parked while the write is in flight"
+            true (!got = None);
+          (match Client.commit a txa with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.failf "commit: %s" (Types.abort_reason_to_string e));
+          Sim.sleep sim 10_000_000;
+          (match !got with
+          | Some (Ok [ ("node1:w", Some "1") ]) -> ()
+          | Some (Ok _) -> Alcotest.fail "reader saw a stale or wrong value"
+          | Some (Error e) ->
+              Alcotest.failf "ro: %s" (Types.abort_reason_to_string e)
+          | None -> Alcotest.fail "reader never unparked");
+          check_serializable cluster;
+          Client.disconnect a;
+          Client.disconnect r)
+
 (* --- crash / recovery matrix -------------------------------------------- *)
 
 let committed_data_survives_crash () =
@@ -582,6 +787,15 @@ let suite =
     Alcotest.test_case "concurrent optimistic serializable" `Slow
       (concurrent_serializable Types.Optimistic);
     Alcotest.test_case "occ conflicts abort cleanly" `Quick occ_conflicts_abort;
+    Alcotest.test_case "occ conflict matrix" `Quick occ_conflict_matrix;
+    Alcotest.test_case "occ distributed validation abort" `Quick
+      occ_distributed_validation_abort;
+    Alcotest.test_case "read-only fast path (2pl)" `Quick
+      (ro_fast_path Types.Pessimistic);
+    Alcotest.test_case "read-only fast path (occ)" `Quick
+      (ro_fast_path Types.Optimistic);
+    Alcotest.test_case "read-only waits for in-flight writer" `Quick
+      ro_waits_for_inflight_writer;
     Alcotest.test_case "committed data survives crash" `Quick committed_data_survives_crash;
     Alcotest.test_case "participant crash mid-2PC" `Slow participant_crash_mid_2pc;
     Alcotest.test_case "coordinator crash before decision" `Slow

@@ -665,6 +665,109 @@ let compaction_respects_pinned_snapshots () =
       | Memtable.Found (_, v) -> Alcotest.(check string) "newest" "v2002" v
       | _ -> Alcotest.fail "key lost")
 
+(* Planted regression for the compaction GC watermark: a version covered by
+   the lowest retained snapshot must survive compaction even when the key
+   was later deleted (the tombstone may not swallow it), and the watermark
+   accessors must track retain/release exactly — a leaked retention would
+   pin GC forever. *)
+let gc_watermark_and_tombstones () =
+  with_sim (fun sim ->
+      let eng, _, _ = mk_engine sim in
+      let s1 = Engine.commit eng ~writes:[ ("wm", Op.Put "v1") ] () in
+      let snap = Engine.snapshot eng in
+      Engine.retain_snapshot eng snap;
+      Alcotest.(check int) "watermark = retained snapshot" snap
+        (Engine.min_active_snapshot eng);
+      Alcotest.(check int) "one retention" 1 (Engine.active_snapshot_count eng);
+      (* Overwrite, then delete, then bury under fill to force compaction
+         with the snapshot pinned. *)
+      ignore (Engine.commit eng ~writes:[ ("wm", Op.Put "v2") ] ());
+      ignore (Engine.commit eng ~writes:[ ("wm", Op.Delete) ] ());
+      for i = 0 to 2_000 do
+        ignore
+          (Engine.commit eng
+             ~writes:[ (Printf.sprintf "fill%04d" i, Op.Put (String.make 200 'f')) ]
+             ())
+      done;
+      Engine.flush_now eng;
+      Engine.compact_now eng;
+      Alcotest.(check bool) "compactions ran" true
+        ((Engine.stats eng).compactions > 0);
+      Alcotest.(check int) "watermark still pinned" snap
+        (Engine.min_active_snapshot eng);
+      (* The retained snapshot still reads v1 — not the tombstone. *)
+      (match Engine.get eng ~key:"wm" ~snapshot:snap with
+      | Memtable.Found (seq, "v1") -> Alcotest.(check int) "v1's seq" s1 seq
+      | _ -> Alcotest.fail "retained version GCed under a live snapshot");
+      (* A fresh snapshot sees the delete. *)
+      (match Engine.get eng ~key:"wm" ~snapshot:(Engine.snapshot eng) with
+      | Memtable.Deleted _ | Memtable.Not_found -> ()
+      | Memtable.Found _ -> Alcotest.fail "delete lost");
+      Engine.release_snapshot eng snap;
+      Alcotest.(check int) "no retentions left" 0
+        (Engine.active_snapshot_count eng);
+      Alcotest.(check bool) "watermark follows visible seq again" true
+        (Engine.min_active_snapshot eng > snap);
+      (* With the pin gone, a compaction that rewrites the key's file (the
+         fresh version overlaps it) finally drops v1: the stale snapshot no
+         longer finds it. *)
+      ignore (Engine.commit eng ~writes:[ ("wm", Op.Put "v3") ] ());
+      Engine.flush_now eng;
+      Engine.compact_now eng;
+      match Engine.get eng ~key:"wm" ~snapshot:snap with
+      | Memtable.Found (_, "v1") -> Alcotest.fail "released version not GCed"
+      | _ -> ())
+
+(* Duplicate read/lock entries: however many times a transaction touches a
+   key — repeated point reads, a scan over it — the recorded read set keeps
+   one entry per key, so OCC prepare acquires each read lock once and the
+   serializability checker sees no duplicate edges. *)
+let local_txn_read_dedup () =
+  let module Core = Treaty_core in
+  with_sim (fun sim ->
+      let eng, _, sec = mk_engine sim in
+      ignore (Engine.commit eng ~writes:[ ("dup", Op.Put "v") ] ());
+      let run isolation =
+        let locks =
+          Core.Lock_table.create sim ~enclave:(Sec.enclave sec) ~shards:4
+            ~timeout_ns:1_000_000
+        in
+        let txn =
+          Core.Local_txn.begin_ ~engine:eng ~locks ~isolation
+            ~tx:{ Core.Types.coord = 1; seq = 1 } ()
+        in
+        (match Core.Local_txn.get txn "dup" with
+        | Ok (Some "v") -> ()
+        | _ -> Alcotest.fail "get");
+        (match Core.Local_txn.get txn "dup" with
+        | Ok (Some "v") -> ()
+        | _ -> Alcotest.fail "reentrant get");
+        (match Core.Local_txn.scan txn ~lo:"dup" ~hi:"dup" with
+        | Ok [ ("dup", "v") ] -> ()
+        | _ -> Alcotest.fail "scan");
+        Alcotest.(check int) "one read-set entry" 1
+          (List.length (Core.Local_txn.read_set txn));
+        (txn, locks)
+      in
+      (* OCC: accesses take no locks; prepare locks the deduped read set —
+         exactly one acquisition — and validates. *)
+      let txn, locks = run Core.Types.Optimistic in
+      (match Core.Local_txn.prepare txn with
+      | Ok () -> ()
+      | _ -> Alcotest.fail "occ prepare");
+      Alcotest.(check int) "occ: single read-lock acquisition" 1
+        (Core.Lock_table.stats locks).Core.Lock_table.acquisitions;
+      Core.Local_txn.finish txn;
+      Alcotest.(check int) "occ: released" 0 (Core.Lock_table.locked_keys locks);
+      (* 2PL: accesses lock at access time (reentrant re-acquisitions are
+         granted) but the read set is still deduplicated. *)
+      let txn, locks = run Core.Types.Pessimistic in
+      (match Core.Local_txn.prepare txn with
+      | Ok () -> ()
+      | _ -> Alcotest.fail "2pl prepare");
+      Core.Local_txn.finish txn;
+      Alcotest.(check int) "2pl: released" 0 (Core.Lock_table.locked_keys locks))
+
 let engine_recovery_exact () =
   with_sim (fun sim ->
       let sec = mk_sec sim in
@@ -1004,6 +1107,9 @@ let suite =
     Alcotest.test_case "sstable range" `Quick sstable_range;
     Alcotest.test_case "memtable range" `Quick memtable_range;
     QCheck_alcotest.to_alcotest prop_skiplist_range;
+    Alcotest.test_case "gc watermark + tombstones" `Slow
+      gc_watermark_and_tombstones;
+    Alcotest.test_case "local txn read-set dedup" `Quick local_txn_read_dedup;
     Alcotest.test_case "compaction respects pinned snapshots" `Slow
       compaction_respects_pinned_snapshots;
     Alcotest.test_case "engine recovery exact state" `Quick engine_recovery_exact;
