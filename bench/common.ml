@@ -98,6 +98,27 @@ let ycsb_result ?(isolation = Types.Pessimistic) sim profile ~ycsb ~clients
   Cluster.shutdown cluster;
   r
 
+(* BENCH_commit_pipeline.json is fed by two benches — fig4's pipeline rows
+   and micro's crypto-cost section — which can run in either order or alone
+   (the CI smoke runs fig4 before micro). Each contributes a named top-level
+   section; the file is rewritten with everything contributed so far, so
+   whichever bench finishes last leaves the merged document behind. *)
+let pipeline_sections : (string * string) list ref = ref []
+
+let pipeline_json_set ~key fragment =
+  pipeline_sections :=
+    (key, fragment) :: List.remove_assoc key !pipeline_sections;
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "{\n  \"bench\": \"commit_pipeline\",\n  \"mode\": %S"
+    (if !full_mode then "full" else "quick");
+  List.iter
+    (fun (k, v) -> Printf.bprintf b ",\n  %S: %s" k v)
+    (List.sort compare !pipeline_sections);
+  Buffer.add_string b "\n}\n";
+  let oc = open_out "BENCH_commit_pipeline.json" in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
 let id_engine e = e
 
 let pct x = x *. 100.0

@@ -14,6 +14,7 @@ type config = {
   keys_per_client : int;
   drain_ns : int;
   batching : bool;
+  batch_crypto : bool;
   read_opt : bool;
   cc : Types.isolation;
   trace : bool;
@@ -31,6 +32,7 @@ let default_config =
     keys_per_client = 2;
     drain_ns = ms 1_500;
     batching = true;
+    batch_crypto = true;
     read_opt = true;
     cc = Types.Pessimistic;
     trace = false;
@@ -59,6 +61,7 @@ let cluster_config cfg ~seed =
     {
       Config.treaty_enc_stab with
       batching = cfg.batching;
+      batch_crypto = cfg.batch_crypto;
       read_opt = cfg.read_opt;
       sanitize = true;
       trace = cfg.trace;

@@ -27,6 +27,12 @@ type config = {
       (** Run with the commit-pipeline batching profile knob; [false]
           exercises the unbatched (one round per log, one packet per
           message) path under the same fault schedules. *)
+  batch_crypto : bool;
+      (** Run with the burst-level AEAD knob (v2 packet envelope,
+          {!Treaty_rpc.Secure_msg.Burst}); [false] exercises the v1
+          per-message-sealed envelope under the same fault schedules —
+          tampering detection and recovery must come out identical either
+          way. *)
   read_opt : bool;
       (** Run with the authenticated read-path acceleration knob (Bloom
           filters + verified block cache); [false] exercises the

@@ -80,7 +80,8 @@ let pipeline_counters t =
   and cc_rounds = ref 0
   and cc_failed_waits = ref 0
   and bursts_sent = ref 0
-  and burst_msgs = ref 0 in
+  and burst_msgs = ref 0
+  and crypto_ns = ref 0 in
   Array.iter
     (fun slot ->
       match slot with
@@ -111,7 +112,9 @@ let pipeline_counters t =
               cc_failed_waits := !cc_failed_waits + cs.failed_waits);
           let es = Erpc.stats (Node.rpc n) in
           bursts_sent := !bursts_sent + es.bursts_sent;
-          burst_msgs := !burst_msgs + es.burst_msgs)
+          burst_msgs := !burst_msgs + es.burst_msgs;
+          crypto_ns :=
+            !crypto_ns + (Treaty_tee.Enclave.stats (Node.enclave n)).crypto_ns)
     t.nodes;
   [
     ("wal.items", !wal_items);
@@ -126,6 +129,7 @@ let pipeline_counters t =
     ("counter.failed_waits", !cc_failed_waits);
     ("rpc.bursts_sent", !bursts_sent);
     ("rpc.burst_msgs", !burst_msgs);
+    ("crypto.ns", !crypto_ns);
   ]
 
 let publish_metrics t =
@@ -341,6 +345,8 @@ let sanitize_check t =
       match slot with
       | Live n ->
           Lock_table.leak_check (Node.locks n);
+          Treaty_memalloc.Mempool.leak_check (Node.pool n)
+            ~what:(Printf.sprintf "node %d msgbufs" (i + 1));
           let pinned =
             Treaty_storage.Engine.active_snapshot_count (Node.engine n)
           in

@@ -6,6 +6,7 @@ type security_profile = {
   authentication : bool;
   stabilization : bool;
   batching : bool;
+  batch_crypto : bool;
   read_opt : bool;
   block_cache_bytes : int;
   sanitize : bool;
@@ -22,6 +23,7 @@ let ds_rocksdb =
     authentication = false;
     stabilization = false;
     batching = true;
+    batch_crypto = true;
     read_opt = true;
     block_cache_bytes = default_block_cache_bytes;
     sanitize = false;
@@ -36,6 +38,7 @@ let native_treaty =
     authentication = true;
     stabilization = false;
     batching = true;
+    batch_crypto = true;
     read_opt = true;
     block_cache_bytes = default_block_cache_bytes;
     sanitize = false;
@@ -52,6 +55,7 @@ let treaty_no_enc =
     authentication = true;
     stabilization = false;
     batching = true;
+    batch_crypto = true;
     read_opt = true;
     block_cache_bytes = default_block_cache_bytes;
     sanitize = false;
@@ -64,6 +68,7 @@ let treaty_enc_stab = { treaty_enc with stabilization = true }
 
 let profile_name p =
   let unbatched = if p.batching then "" else " unbatched" in
+  let unsealed = if p.batch_crypto then "" else " no-batch-crypto" in
   let unread = if p.read_opt then "" else " no-readopt" in
   let sanitized = if p.sanitize then " +san" else "" in
   (match (p.tee, p.encryption, p.authentication, p.stabilization) with
@@ -75,7 +80,7 @@ let profile_name p =
   | Enclave.Scone, true, true, true -> "Treaty w/ Enc w/ Stab"
   | Enclave.Native, _, _, _ -> "custom (native)"
   | Enclave.Scone, _, _, _ -> "custom (scone)")
-  ^ unbatched ^ unread ^ sanitized
+  ^ unbatched ^ unsealed ^ unread ^ sanitized
 
 type t = {
   profile : security_profile;
@@ -127,7 +132,7 @@ let default =
     part_stale_abort_ns = 1_000_000_000;
     coord_tx_abandon_ns = 3_000_000_000;
     dedup_ttl_ns = 2_000_000_000;
-    burst_window_ns = 2_000;
+    burst_window_ns = 8_000;
     sanitize_fiber_stall_ns = 10_000_000_000;
     record_history = false;
     naive_rpc_port = false;

@@ -16,6 +16,14 @@ type security_profile = {
           and RPC burst coalescing. [false] reproduces the pre-pipeline
           behaviour — one counter round per log, one Clog append and one
           packet per record/message. *)
+  batch_crypto : bool;
+      (** Burst-level AEAD (the PR-7 ablation knob, on in every named
+          profile): seal each coalesced RPC burst as one v2 packet — one IV,
+          one keystream pass, one MAC per packet
+          ({!Treaty_rpc.Secure_msg.Burst}). [false] falls back to the v1
+          envelope that seals every sub-message individually. Orthogonal to
+          [batching]: with a zero burst window every packet still carries one
+          message, just framed as a 1-burst v2 packet. *)
   read_opt : bool;
       (** Authenticated read-path acceleration (the PR-5 ablation knob, on
           in every named profile): per-SSTable Bloom filters consulted

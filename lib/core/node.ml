@@ -14,6 +14,7 @@ module Counter_client = Treaty_counter.Counter_client
 module Keys = Treaty_crypto.Keys
 module Wire = Treaty_util.Wire
 module Latch = Treaty_sched.Scheduler.Latch
+module Lanes = Treaty_sched.Scheduler.Lanes
 module Trace = Treaty_obs.Trace
 module Metrics = Treaty_obs.Metrics
 
@@ -75,6 +76,7 @@ type t = {
   enclave : Enclave.t;
   pool : Mempool.t;
   rpc : Erpc.t;
+  lanes : Lanes.lanes;
   ssd : Ssd.t;
   sec : Sec.t;
   mutable engine : Engine.t;
@@ -95,6 +97,7 @@ let node_id t = t.deps.node_id
 let stats t = t.stats
 let engine t = t.engine
 let rpc t = t.rpc
+let pool t = t.pool
 let enclave t = t.enclave
 let ssd t = t.ssd
 let locks t = t.locks
@@ -1014,11 +1017,26 @@ let handle_client_register t _meta payload =
 
 (* --- assembly ----------------------------------------------------------- *)
 
+(* Per-shard commit lanes (§VII-C): 2PC prepare/commit/abort handling fans
+   out across [cores_per_node] lanes keyed by the transaction identity, so
+   independent transactions process in parallel while all messages of one
+   transaction stay serialized on the same lane (prepare-before-commit order
+   is preserved without extra locking). Lane choice is a pure function of
+   (coord, tx_seq), and lane fibers drain FIFO through the deterministic
+   scheduler, so same-seed traces stay byte-identical. *)
+let lane_key t (meta : Secure_msg.meta) =
+  ((meta.Secure_msg.coord * 1000003) + meta.Secure_msg.tx_seq)
+  land max_int
+  mod Lanes.shards t.lanes
+
+let on_lane t handler meta payload =
+  Lanes.run t.lanes (lane_key t meta) (fun () -> handler meta payload)
+
 let register_handlers t =
   Erpc.register t.rpc ~kind:k_txn_op (handle_txn_op t);
-  Erpc.register t.rpc ~kind:k_prepare (handle_prepare t);
-  Erpc.register t.rpc ~kind:k_commit (handle_commit t);
-  Erpc.register t.rpc ~kind:k_abort (handle_abort t);
+  Erpc.register t.rpc ~kind:k_prepare (on_lane t (handle_prepare t));
+  Erpc.register t.rpc ~kind:k_commit (on_lane t (handle_commit t));
+  Erpc.register t.rpc ~kind:k_abort (on_lane t (handle_abort t));
   Erpc.register t.rpc ~kind:k_query_decision (handle_query_decision t);
   Erpc.register t.rpc ~kind:k_client_register (handle_client_register t);
   Erpc.register t.rpc ~kind:k_client_begin (handle_client_begin t);
@@ -1119,7 +1137,7 @@ let build_parts (deps : deps) ssd =
       ~cores:cfg.cores_per_node ~node_id:deps.node_id ~code_identity:"treaty-node-v1"
   in
   Enclave.install_secrets enclave deps.master;
-  let pool = Mempool.create enclave in
+  let pool = Mempool.create ~sanitize:cfg.profile.sanitize enclave in
   let security =
     if cfg.profile.encryption then
       Secure_msg.Secure (Keys.network_key deps.master)
@@ -1135,6 +1153,7 @@ let build_parts (deps : deps) ssd =
       msgbuf_region = (if cfg.naive_rpc_port then Mempool.Enclave else Mempool.Host);
       rdtsc_ocalls = cfg.naive_rpc_port;
       burst_window_ns = (if cfg.profile.batching then cfg.burst_window_ns else 0);
+      batch_crypto = cfg.profile.batch_crypto;
     }
   in
   let rpc =
@@ -1210,6 +1229,9 @@ let assemble deps (enclave, pool, rpc, sec, locks, rote, counter_client, ssd) en
       enclave;
       pool;
       rpc;
+      lanes =
+        Lanes.create ~label:"commit-lane" (Sim.sched deps.sim)
+          ~shards:(max 1 deps.config.cores_per_node);
       ssd;
       sec;
       engine;

@@ -68,6 +68,11 @@ val node_id : t -> int
 val stats : t -> stats
 val engine : t -> Treaty_storage.Engine.t
 val rpc : t -> Treaty_rpc.Erpc.t
+
+val pool : t -> Treaty_memalloc.Mempool.t
+(** The node's message-buffer pool; exposed so the chaos harness can run its
+    quiescence-time leak check ({!Treaty_memalloc.Mempool.leak_check}). *)
+
 val enclave : t -> Treaty_tee.Enclave.t
 val ssd : t -> Treaty_storage.Ssd.t
 val locks : t -> Lock_table.t

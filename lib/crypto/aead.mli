@@ -38,6 +38,41 @@ val seal_packed : key -> iv:string -> ?aad:string -> string -> string
 val open_packed :
   key -> ?aad:string -> string -> (string, [ `Mac_mismatch | `Truncated ]) result
 
+(** {2 In-place region operations}
+
+    The zero-copy wire path seals and opens whole packet regions inside a
+    mempool-backed buffer: one keystream pass and one MAC per packet, no
+    intermediate strings. The tag transcript matches {!seal}/{!open_}
+    exactly, so region-sealed and string-sealed messages interverify. *)
+
+val xor_region : key -> iv:string -> Bytes.t -> off:int -> len:int -> unit
+(** Encrypt (or decrypt — it is an involution) [buf.[off .. off+len)] in
+    place. *)
+
+val tag_region :
+  key ->
+  iv:string ->
+  Bytes.t ->
+  aad_off:int ->
+  aad_len:int ->
+  ct_off:int ->
+  ct_len:int ->
+  string
+(** 16-byte truncated tag over [iv], the AAD region and the ciphertext
+    region of one buffer (length-framed like {!seal}). *)
+
+val check_region :
+  key ->
+  iv:string ->
+  Bytes.t ->
+  aad_off:int ->
+  aad_len:int ->
+  ct_off:int ->
+  ct_len:int ->
+  mac:string ->
+  bool
+(** Timing-safe verification of {!tag_region}. *)
+
 (** Deterministic IV generator: a per-key 96-bit counter, never reused. *)
 module Iv_gen : sig
   type t
@@ -47,4 +82,10 @@ module Iv_gen : sig
       never collide. *)
 
   val next : t -> string
+  (** A fresh, unique 12-byte IV. *)
+
+  val next_into : t -> Bytes.t -> int -> unit
+  (** [next_into t buf off] writes the next IV at [buf.[off .. off+12)]
+      without allocating — the hot path stamps IVs directly into the packet
+      buffer. *)
 end

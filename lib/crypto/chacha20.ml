@@ -63,9 +63,9 @@ let block ~key ~nonce ~counter =
   block_into ~state ~working:(Array.make 16 0) out 0;
   Bytes.unsafe_to_string out
 
-let xor ~key ~nonce ?(counter = 1) msg =
-  let len = String.length msg in
-  let out = Bytes.of_string msg in
+let xor_into ~key ~nonce ?(counter = 1) buf ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Chacha20.xor_into: region out of bounds";
   let state = init_state ~key ~nonce ~counter in
   let working = Array.make 16 0 in
   let ks = Bytes.create 64 in
@@ -75,12 +75,16 @@ let xor ~key ~nonce ?(counter = 1) msg =
     block_into ~state ~working ks 0;
     let n = min 64 (len - !pos) in
     for i = 0 to n - 1 do
-      Bytes.unsafe_set out (!pos + i)
+      Bytes.unsafe_set buf (off + !pos + i)
         (Char.unsafe_chr
-           (Char.code (Bytes.unsafe_get out (!pos + i))
+           (Char.code (Bytes.unsafe_get buf (off + !pos + i))
            lxor Char.code (Bytes.unsafe_get ks i)))
     done;
     pos := !pos + n;
     incr blk
-  done;
+  done
+
+let xor ~key ~nonce ?(counter = 1) msg =
+  let out = Bytes.of_string msg in
+  xor_into ~key ~nonce ~counter out ~off:0 ~len:(Bytes.length out);
   Bytes.unsafe_to_string out

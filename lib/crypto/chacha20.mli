@@ -14,6 +14,12 @@ val xor : key:string -> nonce:string -> ?counter:int -> string -> string
     with the keystream starting at block [counter] (default 1, per RFC 8439
     AEAD usage). *)
 
+val xor_into :
+  key:string -> nonce:string -> ?counter:int -> Bytes.t -> off:int -> len:int -> unit
+(** In-place variant: applies the keystream to [buf.[off .. off+len)] with no
+    intermediate copies. One keystream pass over a whole packet region is how
+    the burst-level wire path avoids a per-sub-message cipher setup. *)
+
 val block : key:string -> nonce:string -> counter:int -> string
 (** One raw 64-byte keystream block (exposed for tests against the RFC
     vectors). *)

@@ -22,19 +22,21 @@ type t = {
   enclave : Treaty_tee.Enclave.t;
   heaps : heap array;
   stats : stats;
+  sanitize : bool;
 }
 
 let max_class_exp = 26 (* up to 64 MiB *)
+let min_class_exp = 6 (* 64 B *)
 
-let class_size n =
-  let n = max n 64 in
-  let rec go c = if c >= n then c else go (c * 2) in
-  go 64
-
+(* Size-class lookup sits on the per-packet hot path: a branch-free loop over
+   the exponent replaces the old doubling + log2 recursion pair (which
+   allocated two call chains per alloc/free). *)
 let class_exp n =
-  let c = class_size n in
-  let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v / 2) in
-  log2 0 c
+  let e = ref min_class_exp in
+  while 1 lsl !e < n do incr e done;
+  !e
+
+let class_size n = 1 lsl class_exp n
 
 let fresh_heap () =
   {
@@ -42,11 +44,12 @@ let fresh_heap () =
     enclave_free = Array.make (max_class_exp + 1) [];
   }
 
-let create ?(heaps = 8) enclave =
+let create ?(heaps = 8) ?(sanitize = false) enclave =
   {
     enclave;
     heaps = Array.init (max 1 heaps) (fun _ -> fresh_heap ());
     stats = { allocations = 0; recycled = 0; mapped_host = 0; mapped_enclave = 0; live = 0 };
+    sanitize;
   }
 
 let heap_of t owner = t.heaps.(abs (owner * 0x9E3779B1) mod Array.length t.heaps)
@@ -79,7 +82,14 @@ let alloc t ?(owner = 0) region n =
       { bytes = Bytes.create c; size = n; region; freed = false }
 
 let free t ?(owner = 0) b =
-  if b.freed then invalid_arg "Mempool.free: double free";
+  if b.freed then begin
+    if t.sanitize then
+      Treaty_util.Sanitizer.record Treaty_util.Sanitizer.Buf_double_free
+        (Printf.sprintf "mempool: double free of a %d-byte %s buffer"
+           (Bytes.length b.bytes)
+           (match b.region with Host -> "host" | Enclave -> "enclave"));
+    invalid_arg "Mempool.free: double free"
+  end;
   b.freed <- true;
   t.stats.live <- t.stats.live - 1;
   let heap = heap_of t owner in
@@ -90,3 +100,9 @@ let free t ?(owner = 0) b =
   free_lists.(exp) <- b :: free_lists.(exp)
 
 let stats t = t.stats
+
+let leak_check t ~what =
+  if t.sanitize && t.stats.live > 0 then
+    Treaty_util.Sanitizer.record Treaty_util.Sanitizer.Buf_leak
+      (Printf.sprintf "mempool %s: %d buffer(s) still outstanding at quiescence"
+         what t.stats.live)

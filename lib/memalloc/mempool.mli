@@ -31,9 +31,11 @@ type stats = {
 
 type t
 
-val create : ?heaps:int -> Treaty_tee.Enclave.t -> t
+val create : ?heaps:int -> ?sanitize:bool -> Treaty_tee.Enclave.t -> t
 (** [heaps] (default 8) is the number of independent free-list sets; callers
-    are spread across them by {!alloc}'s [owner] hash. *)
+    are spread across them by {!alloc}'s [owner] hash. With [sanitize]
+    (default false), double frees and quiescence-time leaks are also
+    recorded with TreatySan ({!Treaty_util.Sanitizer}). *)
 
 val alloc : t -> ?owner:int -> region -> int -> buf
 (** [alloc t ~owner region n] returns a buffer of at least [n] bytes from the
@@ -49,3 +51,9 @@ val stats : t -> stats
 val class_size : int -> int
 (** The size class (power of two, >= 64) that a request of [n] bytes maps
     to. Exposed for tests. *)
+
+val leak_check : t -> what:string -> unit
+(** Record a [Buf_leak] TreatySan violation if any buffer is still
+    outstanding — call once the run is quiescent (every wire-path
+    allocation must have been freed by then). No-op unless the pool was
+    created with [~sanitize:true]. *)

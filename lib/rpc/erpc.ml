@@ -16,6 +16,7 @@ type config = {
   dedup_ttl_ns : int;
   burst_window_ns : int;
   burst_max_msgs : int;
+  batch_crypto : bool;
 }
 
 let default_config ~security =
@@ -27,8 +28,9 @@ let default_config ~security =
     rdtsc_ocalls = false;
     timeout_ns = 50_000_000 (* 50 ms *);
     dedup_ttl_ns = 2_000_000_000 (* 2 s *);
-    burst_window_ns = 0;
+    burst_window_ns = 5_000;
     burst_max_msgs = 32;
+    batch_crypto = true;
   }
 
 type error = [ `Timeout | `Tampered ]
@@ -70,8 +72,9 @@ type t = {
   epoch : int;
   mutable next_tx_seq : int;
   mutable alive : bool;
-  outq : (int, string list ref) Hashtbl.t;
-      (* dst -> encoded wires (newest first) awaiting the doorbell. *)
+  outq : (int, (Secure_msg.meta * string) list ref) Hashtbl.t;
+      (* dst -> plaintext messages (newest first) awaiting the doorbell;
+         sealing happens at flush, once per packet in v2. *)
   mutable doorbell_active : bool;
   stats : stats;
 }
@@ -87,34 +90,71 @@ let with_msgbuf t size f =
   let buf = Mempool.alloc t.pool ~owner:t.node_id t.config.msgbuf_region size in
   Fun.protect ~finally:(fun () -> Mempool.free t.pool ~owner:t.node_id buf) f
 
-(* Every packet is an envelope framing a burst of encoded messages — the
-   framing is unconditional so endpoints decode uniformly whether or not
-   the sender coalesces. *)
-let envelope wires =
+(* Packet envelope v1: a version byte then a length-framed list of
+   individually sealed wires. Kept as the [batch_crypto = false] ablation —
+   each sub-message pays its own IV, keystream setup and MAC. *)
+let encode_packet_v1 t msgs =
+  let wires =
+    List.map
+      (fun ((meta : Secure_msg.meta), data) ->
+        let wire_len =
+          Secure_msg.wire_size t.config.security ~data_len:(String.length data)
+        in
+        with_msgbuf t wire_len (fun () ->
+            if t.config.rdtsc_ocalls then Enclave.world_switch t.enclave;
+            crypto_charge t ~bytes:wire_len;
+            Secure_msg.encode t.config.security ~iv_gen:t.iv_gen meta data))
+      msgs
+  in
   let b = Buffer.create 256 in
+  Wire.w8 b 1;
   Wire.wlist b Wire.wstr wires;
   Buffer.contents b
 
+(* Packet envelope v2: the whole burst framed into one mempool-backed buffer
+   and sealed with a single packet-level AEAD — one IV, one keystream pass,
+   one MAC, one crypto charge per packet instead of per sub-message. The
+   buffer is allocated for exactly the packet's lifetime (TreatySan checks
+   it drains). *)
+let encode_packet_v2 t msgs =
+  let size =
+    Secure_msg.Burst.wire_size t.config.security
+      ~data_lens:(List.map (fun (_, data) -> String.length data) msgs)
+  in
+  let buf = Mempool.alloc t.pool ~owner:t.node_id t.config.msgbuf_region size in
+  Fun.protect ~finally:(fun () -> Mempool.free t.pool ~owner:t.node_id buf)
+    (fun () ->
+      if t.config.rdtsc_ocalls then Enclave.world_switch t.enclave;
+      crypto_charge t ~bytes:size;
+      let n =
+        Secure_msg.Burst.encode_into t.config.security ~iv_gen:t.iv_gen
+          buf.Mempool.bytes msgs
+      in
+      Bytes.sub_string buf.Mempool.bytes 0 n)
+
 (* Ring the doorbell: one netsim packet, one transport traversal and one
    serialization (fragmented by MTU) carry the whole burst to [dst]. *)
-let flush_burst t ~dst wires =
-  match wires with
+let flush_burst t ~dst msgs =
+  match msgs with
   | [] -> ()
   | _ ->
-      let payload = envelope wires in
+      let payload =
+        if t.config.batch_crypto then encode_packet_v2 t msgs
+        else encode_packet_v1 t msgs
+      in
       let bytes = String.length payload in
       t.stats.bursts_sent <- t.stats.bursts_sent + 1;
-      t.stats.burst_msgs <- t.stats.burst_msgs + List.length wires;
+      t.stats.burst_msgs <- t.stats.burst_msgs + List.length msgs;
       let bspan =
         if Trace.enabled () then
           Trace.begin_span ~node:t.node_id ~cat:"rpc" "rpc.burst"
             ~args:
-              [ ("msgs", Trace.Int (List.length wires));
+              [ ("msgs", Trace.Int (List.length msgs));
                 ("bytes", Trace.Int bytes); ("dst", Trace.Int dst) ]
         else Trace.none
       in
       Transport.charge_burst t.config.params t.enclave t.config.transport
-        ~dir:`Tx ~bytes ~msgs:(List.length wires);
+        ~dir:`Tx ~bytes ~msgs:(List.length msgs);
       let frags = Transport.fragments (Enclave.cost t.enclave) ~bytes in
       Net.send t.net ~src:t.node_id ~dst ~wire_overhead:(64 * frags) payload;
       Trace.end_span bspan
@@ -135,39 +175,29 @@ let flush_all t =
 
 let send_wire t ~dst meta data =
   if not t.alive then ()
+  else if t.config.burst_window_ns <= 0 then flush_burst t ~dst [ (meta, data) ]
   else begin
-    let data_len = String.length data in
-    let wire_len = Secure_msg.wire_size t.config.security ~data_len in
-    let wire =
-      with_msgbuf t wire_len (fun () ->
-          if t.config.rdtsc_ocalls then Enclave.world_switch t.enclave;
-          crypto_charge t ~bytes:wire_len;
-          Secure_msg.encode t.config.security ~iv_gen:t.iv_gen meta data)
+    let q =
+      match Hashtbl.find_opt t.outq dst with
+      | Some q -> q
+      | None ->
+          let q = ref [] in
+          Hashtbl.replace t.outq dst q;
+          q
     in
-    if t.config.burst_window_ns <= 0 then flush_burst t ~dst [ wire ]
-    else begin
-      let q =
-        match Hashtbl.find_opt t.outq dst with
-        | Some q -> q
-        | None ->
-            let q = ref [] in
-            Hashtbl.replace t.outq dst q;
-            q
-      in
-      q := wire :: !q;
-      if List.length !q >= t.config.burst_max_msgs then begin
-        (* Full burst: ring the doorbell early instead of growing past what
-           one TxBurst can carry. *)
-        Hashtbl.remove t.outq dst;
-        flush_burst t ~dst (List.rev !q)
-      end
-      else if not t.doorbell_active then begin
-        t.doorbell_active <- true;
-        Sim.spawn t.sim (fun () ->
-            Sim.sleep t.sim t.config.burst_window_ns;
-            t.doorbell_active <- false;
-            flush_all t)
-      end
+    q := (meta, data) :: !q;
+    if List.length !q >= t.config.burst_max_msgs then begin
+      (* Full burst: ring the doorbell early instead of growing past what
+         one TxBurst can carry. *)
+      Hashtbl.remove t.outq dst;
+      flush_burst t ~dst (List.rev !q)
+    end
+    else if not t.doorbell_active then begin
+      t.doorbell_active <- true;
+      Sim.spawn t.sim (fun () ->
+          Sim.sleep t.sim t.config.burst_window_ns;
+          t.doorbell_active <- false;
+          flush_all t)
     end
   end
 
@@ -268,44 +298,76 @@ let handle_request t (meta : Secure_msg.meta) data =
           Sim.fill running payload;
           reply payload)
 
+let dispatch_decoded t (meta : Secure_msg.meta) data =
+  if meta.is_response then begin
+    match Hashtbl.find_opt t.pending meta.req_id with
+    | Some iv ->
+        Hashtbl.remove t.pending meta.req_id;
+        ignore (Sim.try_fill iv (Ok data))
+    | None -> () (* response after timeout: drop *)
+  end
+  else handle_request t meta data
+
 let dispatch_wire t wire =
   crypto_charge t ~bytes:(String.length wire);
   match Secure_msg.decode t.config.security wire with
   | Error (`Tampered | `Malformed) ->
       t.stats.mac_failures <- t.stats.mac_failures + 1
-  | Ok (meta, data) ->
-      if meta.is_response then begin
-        match Hashtbl.find_opt t.pending meta.req_id with
-        | Some iv ->
-            Hashtbl.remove t.pending meta.req_id;
-            ignore (Sim.try_fill iv (Ok data))
-        | None -> () (* response after timeout: drop *)
-      end
-      else handle_request t meta data
+  | Ok (meta, data) -> dispatch_decoded t meta data
 
+let rx_malformed t (pkt : Treaty_netsim.Packet.t) =
+  (* Packet framing destroyed by tampering: nothing inside is
+     recoverable. *)
+  Transport.charge t.config.params t.enclave t.config.transport ~rpc_layer:true
+    ~dir:`Rx ~bytes:pkt.size;
+  t.stats.mac_failures <- t.stats.mac_failures + 1
+
+(* One fiber per message: a burst may interleave a blocking request (e.g. a
+   prepare awaiting stabilization) with the very counter-service traffic it
+   is waiting on, so messages must not queue behind each other's
+   handlers. *)
 let on_packet t (pkt : Treaty_netsim.Packet.t) =
   (* Runs as a network-delivery event; spawn a fiber so handlers can block. *)
   Sim.spawn t.sim (fun () ->
       if t.alive then begin
         if t.config.rdtsc_ocalls then Enclave.world_switch t.enclave;
-        match Wire.rlist (Wire.reader pkt.payload) Wire.rstr with
-        | exception Wire.Malformed _ ->
-            (* Envelope framing destroyed by tampering: nothing inside is
-               recoverable. *)
-            Transport.charge t.config.params t.enclave t.config.transport
-              ~rpc_layer:true ~dir:`Rx ~bytes:pkt.size;
-            t.stats.mac_failures <- t.stats.mac_failures + 1
-        | wires ->
-            Transport.charge_burst t.config.params t.enclave t.config.transport
-              ~dir:`Rx ~bytes:pkt.size ~msgs:(List.length wires);
-            (* One fiber per message: a burst may interleave a blocking
-               request (e.g. a prepare awaiting stabilization) with the very
-               counter-service traffic it is waiting on, so messages must
-               not queue behind each other's handlers. *)
-            List.iter
-              (fun wire ->
-                Sim.spawn t.sim (fun () -> if t.alive then dispatch_wire t wire))
-              wires
+        if String.length pkt.payload = 0 then rx_malformed t pkt
+        else
+          match Char.code pkt.payload.[0] with
+          | 1 -> (
+              (* v1 envelope: per-message seal; decode (and its crypto
+                 charge) happens in each sub-message's fiber. *)
+              match Wire.rlist (Wire.reader ~pos:1 pkt.payload) Wire.rstr with
+              | exception Wire.Malformed _ -> rx_malformed t pkt
+              | wires ->
+                  Transport.charge_burst t.config.params t.enclave
+                    t.config.transport ~dir:`Rx ~bytes:pkt.size
+                    ~msgs:(List.length wires);
+                  List.iter
+                    (fun wire ->
+                      Sim.spawn t.sim (fun () ->
+                          if t.alive then dispatch_wire t wire))
+                    wires)
+          | 2 -> (
+              (* v2 packet: verify and decrypt ONCE for the whole burst,
+                 then hand out plaintext sub-message views. *)
+              match Secure_msg.Burst.decode t.config.security pkt.payload with
+              | Error (`Tampered | `Malformed) ->
+                  Transport.charge t.config.params t.enclave t.config.transport
+                    ~rpc_layer:true ~dir:`Rx ~bytes:pkt.size;
+                  crypto_charge t ~bytes:pkt.size;
+                  t.stats.mac_failures <- t.stats.mac_failures + 1
+              | Ok msgs ->
+                  Transport.charge_burst t.config.params t.enclave
+                    t.config.transport ~dir:`Rx ~bytes:pkt.size
+                    ~msgs:(List.length msgs);
+                  crypto_charge t ~bytes:pkt.size;
+                  List.iter
+                    (fun (meta, data) ->
+                      Sim.spawn t.sim (fun () ->
+                          if t.alive then dispatch_decoded t meta data))
+                    msgs)
+          | _ -> rx_malformed t pkt
       end)
 
 let create sim ~net ~enclave ~pool ~config ~node_id ?net_config () =

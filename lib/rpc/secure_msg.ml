@@ -1,4 +1,5 @@
 module Aead = Treaty_crypto.Aead
+module Taint = Treaty_crypto.Taint
 
 type meta = {
   coord : int;
@@ -15,6 +16,9 @@ let pad_size = 4
 
 type security = Plain | Secure of Aead.key
 
+(* This module is a lint wire-zone: no [String.sub] / [( ^ )] — every encode
+   and decode runs over byte regions of one packet buffer. *)
+
 let put64 b off v =
   for i = 0 to 7 do
     Bytes.set b (off + i) (Char.chr ((v lsr (8 * i)) land 0xff))
@@ -27,16 +31,34 @@ let get64 s off =
   done;
   !v
 
-let encode_meta m =
-  let b = Bytes.make meta_size '\000' in
-  put64 b 0 m.coord;
-  put64 b 8 m.tx_seq;
-  put64 b 16 m.op_id;
-  put64 b 24 m.src;
-  put64 b 32 m.kind;
-  put64 b 40 (if m.is_response then 1 else 0);
-  put64 b 48 m.req_id;
-  Bytes.unsafe_to_string b
+let get64b b off =
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b (off + i))
+  done;
+  !v
+
+let put32 b off v =
+  for i = 0 to 3 do
+    Bytes.set b (off + i) (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let get32b b off =
+  let v = ref 0 in
+  for i = 3 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b (off + i))
+  done;
+  !v
+
+let encode_meta_into b off m =
+  Bytes.fill b off meta_size '\000';
+  put64 b off m.coord;
+  put64 b (off + 8) m.tx_seq;
+  put64 b (off + 16) m.op_id;
+  put64 b (off + 24) m.src;
+  put64 b (off + 32) m.kind;
+  put64 b (off + 40) (if m.is_response then 1 else 0);
+  put64 b (off + 48) m.req_id
 
 let decode_meta s off =
   {
@@ -49,41 +71,221 @@ let decode_meta s off =
     req_id = get64 s (off + 48);
   }
 
+let decode_meta_bytes b off =
+  {
+    coord = get64b b off;
+    tx_seq = get64b b (off + 8);
+    op_id = get64b b (off + 16);
+    src = get64b b (off + 24);
+    kind = get64b b (off + 32);
+    is_response = get64b b (off + 40) = 1;
+    req_id = get64b b (off + 48);
+  }
+
 let at_most_once_key m = (m.coord, m.tx_seq, m.op_id)
 
-let encode security ~iv_gen m data =
+(* Register the caller's payload with the plaintext sanitizer: if the raw
+   data string (rather than the sealed packet) ever reaches the network,
+   TreatySan flags it. The empty string is skipped — zero-length blocks are
+   shared atoms in the runtime, so registering one would taint every "" in
+   the program. *)
+let taint_data data = if String.length data > 0 then Taint.register data
+
+let wire_size security ~data_len =
   match security with
-  | Plain -> "P" ^ encode_meta m ^ data
+  | Plain -> 1 + meta_size + data_len
+  | Secure _ -> 1 + Aead.iv_size + pad_size + meta_size + data_len + Aead.mac_size
+
+let encode security ~iv_gen m data =
+  let data_len = String.length data in
+  match security with
+  | Plain ->
+      let b = Bytes.create (1 + meta_size + data_len) in
+      Bytes.set b 0 'P';
+      encode_meta_into b 1 m;
+      Bytes.blit_string data 0 b (1 + meta_size) data_len;
+      Bytes.unsafe_to_string b
   | Secure key ->
-      let iv = Aead.Iv_gen.next iv_gen in
-      let ct, mac = Aead.seal key ~iv (encode_meta m ^ data) in
-      "S" ^ iv ^ String.make pad_size '\000' ^ ct ^ mac
+      let hdr = 1 + Aead.iv_size + pad_size in
+      let pt_len = meta_size + data_len in
+      let b = Bytes.create (hdr + pt_len + Aead.mac_size) in
+      Bytes.set b 0 'S';
+      Aead.Iv_gen.next_into iv_gen b 1;
+      let iv = Bytes.sub_string b 1 Aead.iv_size in
+      Bytes.fill b (1 + Aead.iv_size) pad_size '\000';
+      encode_meta_into b hdr m;
+      Bytes.blit_string data 0 b (hdr + meta_size) data_len;
+      taint_data data;
+      (* Encrypt-then-MAC in place: same transcript as [Aead.seal] with
+         empty AAD, so the wire format is unchanged. *)
+      Aead.xor_region key ~iv b ~off:hdr ~len:pt_len;
+      let mac =
+        Aead.tag_region key ~iv b ~aad_off:0 ~aad_len:0 ~ct_off:hdr ~ct_len:pt_len
+      in
+      Bytes.blit_string mac 0 b (hdr + pt_len) Aead.mac_size;
+      Bytes.unsafe_to_string b
 
 let decode security wire =
   let n = String.length wire in
   match security with
   | Plain ->
       if n < 1 + meta_size || wire.[0] <> 'P' then Error `Malformed
-      else
-        Ok (decode_meta wire 1, String.sub wire (1 + meta_size) (n - 1 - meta_size))
+      else begin
+        let data_len = n - 1 - meta_size in
+        let data = Bytes.create data_len in
+        Bytes.blit_string wire (1 + meta_size) data 0 data_len;
+        Ok (decode_meta wire 1, Bytes.unsafe_to_string data)
+      end
   | Secure key ->
       let hdr = 1 + Aead.iv_size + pad_size in
-      if
-        n < hdr + meta_size + Aead.mac_size
-        || wire.[0] <> 'S'
-        || String.sub wire (1 + Aead.iv_size) pad_size <> String.make pad_size '\000'
-      then Error `Malformed
+      if n < hdr + meta_size + Aead.mac_size || wire.[0] <> 'S' then
+        Error `Malformed
       else begin
-        let iv = String.sub wire 1 Aead.iv_size in
-        let ct_len = n - hdr - Aead.mac_size in
-        let ct = String.sub wire hdr ct_len in
-        let mac = String.sub wire (hdr + ct_len) Aead.mac_size in
-        match Aead.open_ key ~iv ~mac ct with
-        | Error `Mac_mismatch -> Error `Tampered
-        | Ok pt -> Ok (decode_meta pt 0, String.sub pt meta_size (String.length pt - meta_size))
+        let pad_ok = ref true in
+        for i = 1 + Aead.iv_size to hdr - 1 do
+          if wire.[i] <> '\000' then pad_ok := false
+        done;
+        if not !pad_ok then Error `Malformed
+        else begin
+          (* One copy of the wire into a scratch buffer; verify and decrypt
+             in place, then slice out the payload. *)
+          let b = Bytes.of_string wire in
+          let iv = Bytes.sub_string b 1 Aead.iv_size in
+          let ct_len = n - hdr - Aead.mac_size in
+          let mac = Bytes.sub_string b (hdr + ct_len) Aead.mac_size in
+          if
+            not
+              (Aead.check_region key ~iv b ~aad_off:0 ~aad_len:0 ~ct_off:hdr
+                 ~ct_len ~mac)
+          then Error `Tampered
+          else begin
+            Aead.xor_region key ~iv b ~off:hdr ~len:ct_len;
+            Ok
+              ( decode_meta_bytes b hdr,
+                Bytes.sub_string b (hdr + meta_size) (ct_len - meta_size) )
+          end
+        end
       end
 
-let wire_size security ~data_len =
-  match security with
-  | Plain -> 1 + meta_size + data_len
-  | Secure _ -> 1 + Aead.iv_size + pad_size + meta_size + data_len + Aead.mac_size
+module Burst = struct
+  let version = 2
+
+  let header_size security ~msgs =
+    match security with
+    | Plain -> 1 + 4 + (4 * msgs)
+    | Secure _ -> 1 + Aead.iv_size + 4 + (4 * msgs)
+
+  let wire_size security ~data_lens =
+    let msgs = List.length data_lens in
+    let bodies = List.fold_left (fun acc l -> acc + meta_size + l) 0 data_lens in
+    header_size security ~msgs
+    + bodies
+    + (match security with Plain -> 0 | Secure _ -> Aead.mac_size)
+
+  (* Packet layout (v2):
+
+     {v 0x02 | IV (12 B, Secure) | count (4 B) | len_0..len_n-1 (4 B each)
+        | enc( meta_0|data_0 | ... | meta_n-1|data_n-1 ) | MAC (16 B, Secure) v}
+
+     The whole header — version byte, IV, count and the sub-message length
+     table — is the AAD of a single packet-level AEAD: one IV, one keystream
+     pass, one MAC. Tampering with any framing length (or any body byte)
+     fails the one MAC and rejects the whole packet. *)
+  let encode_into security ~iv_gen buf msgs =
+    let n = List.length msgs in
+    let count_off =
+      match security with Plain -> 1 | Secure _ -> 1 + Aead.iv_size
+    in
+    let lens_off = count_off + 4 in
+    let body_off = lens_off + (4 * n) in
+    Bytes.set buf 0 (Char.chr version);
+    put32 buf count_off n;
+    let write_bodies () =
+      let i = ref 0 and off = ref body_off in
+      List.iter
+        (fun (m, data) ->
+          let data_len = String.length data in
+          let len = meta_size + data_len in
+          put32 buf (lens_off + (4 * !i)) len;
+          encode_meta_into buf !off m;
+          Bytes.blit_string data 0 buf (!off + meta_size) data_len;
+          incr i;
+          off := !off + len)
+        msgs;
+      !off
+    in
+    match security with
+    | Plain -> write_bodies ()
+    | Secure key ->
+        Aead.Iv_gen.next_into iv_gen buf 1;
+        let iv = Bytes.sub_string buf 1 Aead.iv_size in
+        List.iter (fun (_, data) -> taint_data data) msgs;
+        let body_end = write_bodies () in
+        let ct_len = body_end - body_off in
+        Aead.xor_region key ~iv buf ~off:body_off ~len:ct_len;
+        let mac =
+          Aead.tag_region key ~iv buf ~aad_off:0 ~aad_len:body_off
+            ~ct_off:body_off ~ct_len
+        in
+        Bytes.blit_string mac 0 buf body_end Aead.mac_size;
+        body_end + Aead.mac_size
+
+  (* Slice the (already plaintext) bodies out of [b]. The length table was
+     authenticated (Secure) or structurally checked (Plain) by the caller. *)
+  let slice_bodies b ~n ~lens_off ~body_off ~body_len =
+    let msgs = ref [] and off = ref body_off and ok = ref true in
+    for i = 0 to n - 1 do
+      if !ok then begin
+        let len = get32b b (lens_off + (4 * i)) in
+        if len < meta_size || !off + len > body_off + body_len then ok := false
+        else begin
+          let meta = decode_meta_bytes b !off in
+          let data = Bytes.sub_string b (!off + meta_size) (len - meta_size) in
+          msgs := (meta, data) :: !msgs;
+          off := !off + len
+        end
+      end
+    done;
+    if !ok && !off = body_off + body_len then Ok (List.rev !msgs)
+    else Error `Malformed
+
+  let decode security packet =
+    let pn = String.length packet in
+    if pn < 5 || Char.code packet.[0] <> version then Error `Malformed
+    else
+      match security with
+      | Plain ->
+          let b = Bytes.of_string packet in
+          let n = get32b b 1 in
+          let lens_off = 5 in
+          let body_off = lens_off + (4 * n) in
+          if n < 0 || body_off > pn then Error `Malformed
+          else slice_bodies b ~n ~lens_off ~body_off ~body_len:(pn - body_off)
+      | Secure key ->
+          let count_off = 1 + Aead.iv_size in
+          if pn < count_off + 4 + Aead.mac_size then Error `Malformed
+          else begin
+            let b = Bytes.of_string packet in
+            let n = get32b b count_off in
+            let lens_off = count_off + 4 in
+            let body_off = lens_off + (4 * n) in
+            if n < 0 || body_off + Aead.mac_size > pn then Error `Malformed
+            else begin
+              let ct_len = pn - body_off - Aead.mac_size in
+              let iv = Bytes.sub_string b 1 Aead.iv_size in
+              let mac = Bytes.sub_string b (body_off + ct_len) Aead.mac_size in
+              (* Verify before trusting the length table: it is part of the
+                 AAD, so a flipped length byte is a MAC failure (`Tampered),
+                 not a framing error. *)
+              if
+                not
+                  (Aead.check_region key ~iv b ~aad_off:0 ~aad_len:body_off
+                     ~ct_off:body_off ~ct_len ~mac)
+              then Error `Tampered
+              else begin
+                Aead.xor_region key ~iv b ~off:body_off ~len:ct_len;
+                slice_bodies b ~n ~lens_off ~body_off ~body_len:ct_len
+              end
+            end
+          end
+end

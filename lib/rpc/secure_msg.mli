@@ -42,3 +42,45 @@ val decode :
 
 val wire_size : security -> data_len:int -> int
 (** Size of the encoded message for a payload of [data_len] bytes. *)
+
+(** Packet envelope format v2: burst-level AEAD.
+
+    A whole eRPC burst becomes ONE sealed packet —
+
+    {v 0x02 | IV (12 B) | count (4 B) | len_i (4 B each)
+       | enc( meta_0|data_0 | ... ) | MAC (16 B) v}
+
+    — one IV, one ChaCha20 keystream pass and one HMAC per packet instead
+    of per sub-message. The version byte, IV, count and the sub-message
+    length table form the AAD of the packet-level AEAD: tampering with any
+    framing length or body byte fails the single MAC and rejects the whole
+    packet as [`Tampered]. Plain mode uses the same framing without IV/MAC.
+
+    Encoding writes through a cursor into a caller-provided (mempool-backed)
+    buffer and seals in place; decoding verifies once, decrypts in place
+    and hands out per-message views. *)
+module Burst : sig
+  val version : int
+  (** Leading packet byte: [2]. (v1 envelopes lead with [1].) *)
+
+  val wire_size : security -> data_lens:int list -> int
+  (** Exact packet size for a burst whose payloads have the given sizes. *)
+
+  val encode_into :
+    security ->
+    iv_gen:Treaty_crypto.Aead.Iv_gen.t ->
+    Bytes.t ->
+    (meta * string) list ->
+    int
+  (** Frame, encrypt and MAC the burst into [buf] starting at offset 0
+      (which must hold at least [wire_size] bytes); returns the bytes
+      written. *)
+
+  val decode :
+    security ->
+    string ->
+    ((meta * string) list, [ `Tampered | `Malformed ]) result
+  (** One verification and one decryption for the whole packet; [`Tampered]
+      on any MAC failure (including a framing-length flip), [`Malformed] on
+      structural damage (version byte, truncation). *)
+end

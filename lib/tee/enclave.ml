@@ -10,6 +10,7 @@ type stats = {
   mutable transitions : int;
   mutable page_faults : int;
   mutable compute_ns : int;
+  mutable crypto_ns : int;
 }
 
 type t = {
@@ -38,7 +39,7 @@ let create sim ~mode ~cost ~cores ~node_id ~code_identity =
     seal_key =
       Treaty_crypto.Aead.key_of_string (Printf.sprintf "fuse-key:%d" node_id);
     iv_gen = Treaty_crypto.Aead.Iv_gen.create ~node_id;
-    stats = { syscalls = 0; transitions = 0; page_faults = 0; compute_ns = 0 };
+    stats = { syscalls = 0; transitions = 0; page_faults = 0; compute_ns = 0; crypto_ns = 0 };
     epc_used = 0;
     host_used = 0;
     master = None;
@@ -58,13 +59,12 @@ let charge t ns =
     Sim.Resource.consume t.cpu ns
   end
 
-let compute t ns =
-  let ns =
-    match t.mode with
-    | Native -> ns
-    | Scone -> int_of_float (float_of_int ns *. t.cost.scone_cpu_factor)
-  in
-  charge t ns
+let scale_cpu t ns =
+  match t.mode with
+  | Native -> ns
+  | Scone -> int_of_float (float_of_int ns *. t.cost.scone_cpu_factor)
+
+let compute t ns = charge t (scale_cpu t ns)
 
 let compute_untrusted t ns = charge t ns
 
@@ -100,7 +100,10 @@ let world_switch t =
   | Native -> ()
   | Scone -> charge t t.cost.enclave_transition_ns
 
-let charge_crypto t ~bytes = compute t (Costmodel.crypto_cost t.cost ~bytes)
+let charge_crypto t ~bytes =
+  let ns = scale_cpu t (Costmodel.crypto_cost t.cost ~bytes) in
+  t.stats.crypto_ns <- t.stats.crypto_ns + ns;
+  charge t ns
 let charge_hash t ~bytes = compute t (Costmodel.hash_cost t.cost ~bytes)
 
 (* EPC paging model: while the enclave working set fits in the EPC, touches

@@ -21,6 +21,9 @@ type stats = {
   mutable transitions : int;
   mutable page_faults : int;
   mutable compute_ns : int;
+  mutable crypto_ns : int;
+      (** Share of [compute_ns] spent in {!charge_crypto} (AEAD seal/open) —
+          the numerator of the crypto-per-txn benchmark metric. *)
 }
 
 type t

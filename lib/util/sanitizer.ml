@@ -5,6 +5,8 @@ type kind =
   | Fiber_stall
   | Plaintext
   | Snapshot_leak
+  | Buf_leak
+  | Buf_double_free
 
 type event = { kind : kind; detail : string }
 
@@ -15,12 +17,16 @@ let kind_to_string = function
   | Fiber_stall -> "fiber-stall"
   | Plaintext -> "plaintext"
   | Snapshot_leak -> "snapshot-leak"
+  | Buf_leak -> "buf-leak"
+  | Buf_double_free -> "buf-double-free"
 
 (* Deadlock-suspect hold-and-wait timeouts are the system's by-design
    deadlock-resolution strategy (§V-B), so they are surfaced as warnings,
    not violations. *)
 let is_violation = function
-  | Lock_leak | Lock_zombie | Fiber_stall | Plaintext | Snapshot_leak -> true
+  | Lock_leak | Lock_zombie | Fiber_stall | Plaintext | Snapshot_leak
+  | Buf_leak | Buf_double_free ->
+      true
   | Lock_conflict -> false
 
 let max_events = 256

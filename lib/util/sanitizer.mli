@@ -24,6 +24,11 @@ type kind =
       (** Engine MVCC snapshot still retained at quiescence: a transaction
           path dropped its context without [Local_txn.finish], pinning the
           compaction GC watermark. *)
+  | Buf_leak
+      (** Mempool buffer still outstanding at quiescence: a wire-path
+          alloc/free pair was dropped (e.g. an exception between packet
+          encode and send). *)
+  | Buf_double_free  (** Mempool buffer returned to its free list twice. *)
 
 type event = { kind : kind; detail : string }
 

@@ -133,6 +133,67 @@ let iv_gen_unique () =
   Alcotest.(check bool) "distinct nodes disjoint" false
     (Hashtbl.mem seen (Aead.Iv_gen.next g2))
 
+let region_primitives () =
+  (* The zero-copy wire path is built on in-place region variants of the
+     string crypto; each must agree byte-for-byte with its string twin. *)
+  let key = String.init 32 Char.chr and nonce = String.make 12 'n' in
+  let pt = String.init 777 (fun i -> Char.chr (i * 7 mod 256)) in
+  let b = Bytes.make 1000 '\xee' in
+  Bytes.blit_string pt 0 b 100 (String.length pt);
+  Chacha20.xor_into ~key ~nonce b ~off:100 ~len:(String.length pt);
+  Alcotest.(check string) "xor_into = xor on the region"
+    (Chacha20.xor ~key ~nonce pt)
+    (Bytes.sub_string b 100 (String.length pt));
+  Alcotest.(check char) "byte before region untouched" '\xee' (Bytes.get b 99);
+  Alcotest.(check char) "byte after region untouched" '\xee'
+    (Bytes.get b (100 + String.length pt));
+  let h = Hmac.create "stream-key" in
+  let s = Hmac.stream h in
+  Hmac.feed_string s "ab";
+  Hmac.feed_bytes s (Bytes.of_string "_cdef_") 1 4;
+  Alcotest.(check string) "hmac stream = mac of concat"
+    (Sha256.to_hex (Hmac.mac h "abcdef"))
+    (Sha256.to_hex (Hmac.stream_mac s))
+
+let aead_region_interverifies () =
+  (* A message sealed through the region API must open through the string
+     API (and vice versa): same IV transcript, same tag. *)
+  let key = Aead.key_of_string "k" in
+  let iv = String.make 12 'i' in
+  let aad = "header" and pt = "the payload" in
+  let packed = Aead.seal_packed key ~iv ~aad pt in
+  (* packed = iv | ct | mac *)
+  let ct_len = String.length pt in
+  let b = Bytes.create (String.length aad + ct_len) in
+  Bytes.blit_string aad 0 b 0 (String.length aad);
+  Bytes.blit_string packed 12 b (String.length aad) ct_len;
+  let tag =
+    Aead.tag_region key ~iv b ~aad_off:0 ~aad_len:(String.length aad)
+      ~ct_off:(String.length aad) ~ct_len
+  in
+  Alcotest.(check string) "region tag = packed tag"
+    (String.sub packed (12 + ct_len) 16)
+    tag;
+  Alcotest.(check bool) "check_region accepts" true
+    (Aead.check_region key ~iv b ~aad_off:0 ~aad_len:(String.length aad)
+       ~ct_off:(String.length aad) ~ct_len ~mac:tag);
+  Aead.xor_region key ~iv b ~off:(String.length aad) ~len:ct_len;
+  Alcotest.(check string) "region decrypt recovers plaintext" pt
+    (Bytes.sub_string b (String.length aad) ct_len)
+
+let iv_gen_next_into () =
+  let g1 = Aead.Iv_gen.create ~node_id:7 in
+  let g2 = Aead.Iv_gen.create ~node_id:7 in
+  let b = Bytes.make 20 '\x00' in
+  for i = 1 to 100 do
+    let iv = Aead.Iv_gen.next g1 in
+    Aead.Iv_gen.next_into g2 b 4;
+    Alcotest.(check string)
+      (Printf.sprintf "next_into = next (step %d)" i)
+      iv
+      (Bytes.sub_string b 4 12)
+  done
+
 let keys_derivation () =
   let m = Keys.master_of_secret "s" in
   Alcotest.(check bool) "labels differ" true (Keys.derive m "a" <> Keys.derive m "b");
@@ -178,6 +239,10 @@ let suite =
     Alcotest.test_case "aead detects any bit flip" `Quick aead_tamper_every_byte;
     Alcotest.test_case "aead wrong aad/key" `Quick aead_wrong_aad;
     Alcotest.test_case "iv generator uniqueness" `Quick iv_gen_unique;
+    Alcotest.test_case "region crypto primitives" `Quick region_primitives;
+    Alcotest.test_case "aead region/string interverify" `Quick
+      aead_region_interverifies;
+    Alcotest.test_case "iv_gen next_into = next" `Quick iv_gen_next_into;
     Alcotest.test_case "key derivation" `Quick keys_derivation;
     QCheck_alcotest.to_alcotest prop_aead_roundtrip;
     QCheck_alcotest.to_alcotest prop_chacha_involution;

@@ -276,6 +276,128 @@ let rpc_burst_coalescing () =
         true
         (sa.Erpc.bursts_sent < sa.Erpc.burst_msgs))
 
+(* --- burst envelope (v2) ------------------------------------------------ *)
+
+let mk_meta i =
+  {
+    Secure_msg.coord = 1 + (i mod 5);
+    tx_seq = 1000 + i;
+    op_id = i;
+    src = 2;
+    kind = 1 + (i mod 3);
+    is_response = i mod 2 = 0;
+    req_id = 7000 + i;
+  }
+
+let burst_roundtrip_equiv =
+  (* Property: a burst sealed as one v2 packet decodes to exactly the
+     (meta, data) list that per-message v1 seal/decode yields — the batched
+     crypto changes the wire format, never the delivered messages. *)
+  QCheck.Test.make ~name:"burst seal/decode = per-message seal/decode"
+    ~count:100
+    QCheck.(small_list (string_of_size Gen.(0 -- 300)))
+    (fun payloads ->
+      let msgs = List.mapi (fun i data -> (mk_meta i, data)) payloads in
+      let key = Aead.key_of_string "burst" in
+      List.for_all
+        (fun security ->
+          let per_message =
+            List.map
+              (fun (m, data) ->
+                let ivg = Aead.Iv_gen.create ~node_id:2 in
+                match
+                  Secure_msg.decode security
+                    (Secure_msg.encode security ~iv_gen:ivg m data)
+                with
+                | Ok md -> md
+                | Error _ -> QCheck.Test.fail_report "v1 roundtrip failed")
+              msgs
+          in
+          let ivg = Aead.Iv_gen.create ~node_id:2 in
+          let data_lens = List.map (fun (_, d) -> String.length d) msgs in
+          let buf =
+            Bytes.create (Secure_msg.Burst.wire_size security ~data_lens)
+          in
+          let n = Secure_msg.Burst.encode_into security ~iv_gen:ivg buf msgs in
+          if n <> Bytes.length buf then
+            QCheck.Test.fail_report "encode_into size <> wire_size";
+          match Secure_msg.Burst.decode security (Bytes.to_string buf) with
+          | Ok decoded -> decoded = per_message && decoded = msgs
+          | Error _ -> QCheck.Test.fail_report "burst decode failed")
+        [ Secure_msg.Plain; Secure_msg.Secure key ])
+
+let burst_tamper_whole_packet () =
+  (* One MAC covers the whole packet: flipping ANY byte must reject it, and
+     flips inside the AAD-framed length table or the ciphertext must be
+     [`Tampered] (a MAC mismatch), not a framing error — the length table is
+     authenticated before it is parsed. *)
+  let key = Aead.key_of_string "burst" in
+  let security = Secure_msg.Secure key in
+  let ivg = Aead.Iv_gen.create ~node_id:2 in
+  let msgs =
+    [ (mk_meta 0, "alpha"); (mk_meta 1, ""); (mk_meta 2, String.make 100 'z') ]
+  in
+  let data_lens = List.map (fun (_, d) -> String.length d) msgs in
+  let buf = Bytes.create (Secure_msg.Burst.wire_size security ~data_lens) in
+  ignore (Secure_msg.Burst.encode_into security ~iv_gen:ivg buf msgs);
+  let packet = Bytes.to_string buf in
+  (match Secure_msg.Burst.decode security packet with
+  | Ok m -> Alcotest.(check int) "clean packet decodes" 3 (List.length m)
+  | Error _ -> Alcotest.fail "clean packet rejected");
+  let iv_size = 12 and mac_size = 16 in
+  let lens_off = 1 + iv_size + 4 in
+  let body_off = lens_off + (4 * List.length msgs) in
+  for i = 0 to String.length packet - 1 do
+    let b = Bytes.of_string packet in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+    match Secure_msg.Burst.decode security (Bytes.to_string b) with
+    | Ok _ -> Alcotest.failf "bit flip at %d undetected" i
+    | Error `Tampered -> ()
+    | Error `Malformed ->
+        (* Only structural fields (version byte, count) may short-circuit
+           before the MAC; the authenticated length table and the sealed
+           bodies must always fail AS a MAC mismatch. *)
+        if i >= lens_off && i < String.length packet - mac_size then
+          Alcotest.failf
+            "flip at %d (authenticated region) reported Malformed, not \
+             Tampered"
+            i
+  done;
+  ignore body_off
+
+let rpc_mixed_envelope_versions () =
+  (* A v1-only sender (batch_crypto=false) and a v2 sender interoperate:
+     the receive path dispatches on the packet version byte, not on the
+     local config. *)
+  let key = Aead.key_of_string "net" in
+  let sim = Sim.create () in
+  let net = Net.create sim Treaty_sim.Costmodel.default in
+  Sim.run sim (fun () ->
+      let mk node_id ~batch_crypto =
+        let enclave =
+          Enclave.create sim ~mode:Enclave.Scone
+            ~cost:Treaty_sim.Costmodel.default ~cores:4 ~node_id
+            ~code_identity:"rpc-test"
+        in
+        let pool = Treaty_memalloc.Mempool.create enclave in
+        Erpc.create sim ~net ~enclave ~pool
+          ~config:
+            {
+              (Erpc.default_config ~security:(Secure_msg.Secure key)) with
+              Erpc.batch_crypto;
+            }
+          ~node_id ()
+      in
+      let v1 = mk 1 ~batch_crypto:false and v2 = mk 2 ~batch_crypto:true in
+      Erpc.register v1 ~kind:1 (fun _ payload -> "v1:" ^ payload);
+      Erpc.register v2 ~kind:1 (fun _ payload -> "v2:" ^ payload);
+      (match Erpc.call v1 ~dst:2 ~kind:1 "up" with
+      | Ok r -> Alcotest.(check string) "v1 -> v2" "v2:up" r
+      | Error _ -> Alcotest.fail "v1 -> v2 call failed");
+      match Erpc.call v2 ~dst:1 ~kind:1 "down" with
+      | Ok r -> Alcotest.(check string) "v2 -> v1" "v1:down" r
+      | Error _ -> Alcotest.fail "v2 -> v1 call failed")
+
 let suite =
   [
     Alcotest.test_case "secure message roundtrip" `Quick secure_msg_roundtrip;
@@ -293,4 +415,9 @@ let suite =
       rpc_dedup_freed_when_handler_forgets_tx;
     Alcotest.test_case "handlers run on fibers" `Quick rpc_handler_can_block;
     Alcotest.test_case "burst window coalesces packets" `Quick rpc_burst_coalescing;
+    QCheck_alcotest.to_alcotest burst_roundtrip_equiv;
+    Alcotest.test_case "burst tamper rejects whole packet" `Quick
+      burst_tamper_whole_packet;
+    Alcotest.test_case "v1/v2 envelope senders interoperate" `Quick
+      rpc_mixed_envelope_versions;
   ]

@@ -125,6 +125,55 @@ let plaintext_to_transport () =
       Taint.disable ());
   Alcotest.(check bool) "plaintext is a violation" true (San.violations () > 0)
 
+let mk_pool sim =
+  let enclave =
+    Treaty_tee.Enclave.create sim ~mode:Treaty_tee.Enclave.Native
+      ~cost:Treaty_sim.Costmodel.default ~cores:4 ~node_id:1
+      ~code_identity:"san"
+  in
+  Treaty_memalloc.Mempool.create ~sanitize:true enclave
+
+let mempool_leak () =
+  San.reset ();
+  let sim = Sim.create () in
+  Sim.run sim (fun () ->
+      let module M = Treaty_memalloc.Mempool in
+      let pool = mk_pool sim in
+      let kept = M.alloc pool M.Host 256 in
+      let freed = M.alloc pool M.Host 256 in
+      M.free pool freed;
+      (* One buffer still outstanding at quiescence: the wire path dropped
+         it without returning it to the pool. *)
+      M.leak_check pool ~what:"test pool";
+      ignore kept);
+  Alcotest.(check int) "leak caught" 1 (San.count San.Buf_leak);
+  Alcotest.(check bool) "leak is a violation" true (San.violations () > 0)
+
+let mempool_no_false_leak () =
+  San.reset ();
+  let sim = Sim.create () in
+  Sim.run sim (fun () ->
+      let module M = Treaty_memalloc.Mempool in
+      let pool = mk_pool sim in
+      let b = M.alloc pool M.Host 4096 in
+      M.free pool b;
+      M.leak_check pool ~what:"test pool");
+  Alcotest.(check int) "balanced pool is clean" 0 (San.count San.Buf_leak)
+
+let mempool_double_free () =
+  San.reset ();
+  let sim = Sim.create () in
+  Sim.run sim (fun () ->
+      let module M = Treaty_memalloc.Mempool in
+      let pool = mk_pool sim in
+      let b = M.alloc pool M.Host 128 in
+      M.free pool b;
+      match M.free pool b with
+      | () -> Alcotest.fail "double free must raise"
+      | exception Invalid_argument _ -> ());
+  Alcotest.(check int) "double free recorded" 1 (San.count San.Buf_double_free);
+  Alcotest.(check bool) "double free is a violation" true (San.violations () > 0)
+
 let chaos_sanitize_clean () =
   (* run_seed already fails a seed on sanitizer violations; assert the
      collector really is empty afterwards as well. *)
@@ -147,5 +196,8 @@ let suite =
     Alcotest.test_case "fast fibers stay unflagged" `Quick no_stall_under_threshold;
     Alcotest.test_case "plaintext reaching transport is caught" `Quick
       plaintext_to_transport;
+    Alcotest.test_case "planted mempool leak is caught" `Quick mempool_leak;
+    Alcotest.test_case "balanced mempool stays clean" `Quick mempool_no_false_leak;
+    Alcotest.test_case "mempool double free is caught" `Quick mempool_double_free;
     Alcotest.test_case "chaos runs sanitizer-clean" `Quick chaos_sanitize_clean;
   ]

@@ -21,6 +21,10 @@
      untrusted disk) and no Net (plaintext on the wire). TreatySan taints
      the cached bytes at runtime; this rule keeps the escape hatches out
      of the module statically.
+   - wire-zone: the RPC layer (lib/rpc) encodes and decodes through
+     byte-region cursors over packet buffers; String.sub and ( ^ ) there
+     reintroduce the per-message copy-and-concat the zero-copy path exists
+     to eliminate.
    - nondeterminism: ambient sources of nondeterminism (Random,
      Unix.gettimeofday, Sys.time, Hashtbl.hash, Obj.magic) break the
      seeded-simulation reproducibility contract.
@@ -61,6 +65,7 @@ let lint ~path structure =
   let base = Filename.basename path in
   let protocol_file = base = "node.ml" || base = "counter_client.ml" in
   let cache_file = contains path "lib/storage/" && contains base "block_cache" in
+  let wire_file = contains path "lib/rpc/" in
   let out = ref [] in
   let report (loc : Location.t) rule message =
     out :=
@@ -141,6 +146,14 @@ let lint ~path structure =
   let strip_stdlib = function "Stdlib" :: rest -> rest | l -> l in
   let check_value loc lid =
     match strip_stdlib (Longident.flatten lid) with
+    | [ "String"; "sub" ] when wire_file ->
+        report loc "wire-zone"
+          "String.sub in the wire hot path allocates a copy per message; \
+           slice byte regions of the packet buffer (Bytes.sub_string / blit)"
+    | [ "^" ] when wire_file ->
+        report loc "wire-zone"
+          "string concatenation in the wire hot path; write through a \
+           cursor into the packet buffer instead"
     | [ "Unix"; "gettimeofday" ] ->
         report loc "nondeterminism"
           "Unix.gettimeofday: wall-clock read; simulated time comes from \
@@ -341,7 +354,14 @@ let self_tests =
     ("lib/storage/block_cache.ml",
      "let leak net v = Treaty_netsim.Net.send net v", [ "cache-zone" ]);
     ("lib/storage/block_cache.ml", "let t = Hashtbl.create 8", []);
-    ("lib/storage/engine.ml", "let x = Ssd.read ssd", [])
+    ("lib/storage/engine.ml", "let x = Ssd.read ssd", []);
+    ("lib/rpc/secure_msg.ml", "let x = String.sub s 0 4", [ "wire-zone" ]);
+    ("lib/rpc/secure_msg.ml", "let x = Stdlib.String.sub s 0 4",
+     [ "wire-zone" ]);
+    ("lib/rpc/erpc.ml", "let x = a ^ b", [ "wire-zone" ]);
+    ("lib/rpc/erpc.ml", "let x = Bytes.sub_string b 0 4", []);
+    ("lib/rpc/transport.ml", "let x = a ^ b", [ "wire-zone" ]);
+    ("lib/core/node.ml", "let x = String.sub s 0 4", [])
   ]
 
 let run_self_test () =
