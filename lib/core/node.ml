@@ -13,6 +13,7 @@ module Rote = Treaty_counter.Rote
 module Counter_client = Treaty_counter.Counter_client
 module Keys = Treaty_crypto.Keys
 module Wire = Treaty_util.Wire
+module Sanitizer = Treaty_util.Sanitizer
 module Latch = Treaty_sched.Scheduler.Latch
 module Lanes = Treaty_sched.Scheduler.Lanes
 module Trace = Treaty_obs.Trace
@@ -322,6 +323,27 @@ let handle_txn_scan t (meta : Secure_msg.meta) payload =
       | Ok kvs -> encode_scan_reply kvs
       | Error `Timeout -> status_reply St_lock_timeout)
 
+(* Lane choice is a pure function of the transaction identity (see the
+   commit-lane notes above [on_lane] in the assembly section). *)
+let lane_key t (meta : Secure_msg.meta) =
+  ((meta.Secure_msg.coord * 1000003) + meta.Secure_msg.tx_seq)
+  land max_int
+  mod Lanes.shards t.lanes
+
+let txn_name ~coord ~tx_seq = Printf.sprintf "tx(%d,%d)" coord tx_seq
+
+(* TreatySan cross-lane write assert: each 2PC handler records which lane
+   it mutates this transaction's engine state from. All messages of one
+   transaction must hash to the same lane, so a different lane with no lock
+   hand-off in between is a lane-dispatch bug — the runtime counterpart of
+   TreatyCheck's static lane-race pass (the two validate each other in the
+   chaos sweep). *)
+let san_lane_write t (meta : Secure_msg.meta) ~cell =
+  if t.deps.config.profile.sanitize then
+    Sanitizer.lane_write
+      ~txn:(txn_name ~coord:meta.coord ~tx_seq:meta.tx_seq)
+      ~cell ~lane:(lane_key t meta)
+
 let finish_participant t ~coord ~tx_seq =
   (match Hashtbl.find_opt t.part_txs (coord, tx_seq) with
   | Some (ctx, _) ->
@@ -330,9 +352,12 @@ let finish_participant t ~coord ~tx_seq =
   | None ->
       (* Recovered prepared txs hold locks under their txid without a ctx. *)
       Lock_table.txn_end t.locks ~owner:{ Types.coord; seq = tx_seq });
+  if t.deps.config.profile.sanitize then
+    Sanitizer.lane_forget ~txn:(txn_name ~coord ~tx_seq);
   Erpc.forget_tx t.rpc ~coord ~tx_seq
 
 let handle_prepare t (meta : Secure_msg.meta) _payload =
+  san_lane_write t meta ~cell:"engine.tx-state";
   match Hashtbl.find_opt t.part_txs (meta.coord, meta.tx_seq) with
   | None -> status_reply St_unknown_tx
   | Some (ctx, _) -> (
@@ -365,6 +390,7 @@ let handle_prepare t (meta : Secure_msg.meta) _payload =
               Buffer.contents b))
 
 let handle_commit t (meta : Secure_msg.meta) _payload =
+  san_lane_write t meta ~cell:"engine.tx-state";
   let installed = Engine.resolve t.engine ~tx:(meta.coord, meta.tx_seq) ~commit:true in
   finish_participant t ~coord:meta.coord ~tx_seq:meta.tx_seq;
   let b = Buffer.create 16 in
@@ -373,6 +399,7 @@ let handle_commit t (meta : Secure_msg.meta) _payload =
   Buffer.contents b
 
 let handle_abort t (meta : Secure_msg.meta) _payload =
+  san_lane_write t meta ~cell:"engine.tx-state";
   ignore (Engine.resolve t.engine ~tx:(meta.coord, meta.tx_seq) ~commit:false);
   finish_participant t ~coord:meta.coord ~tx_seq:meta.tx_seq;
   status_reply St_ok
@@ -1022,13 +1049,10 @@ let handle_client_register t _meta payload =
    independent transactions process in parallel while all messages of one
    transaction stay serialized on the same lane (prepare-before-commit order
    is preserved without extra locking). Lane choice is a pure function of
-   (coord, tx_seq), and lane fibers drain FIFO through the deterministic
-   scheduler, so same-seed traces stay byte-identical. *)
-let lane_key t (meta : Secure_msg.meta) =
-  ((meta.Secure_msg.coord * 1000003) + meta.Secure_msg.tx_seq)
-  land max_int
-  mod Lanes.shards t.lanes
-
+   (coord, tx_seq) — [lane_key], defined up with the 2PC handlers so the
+   TreatySan cross-lane assert can recompute it — and lane fibers drain
+   FIFO through the deterministic scheduler, so same-seed traces stay
+   byte-identical. *)
 let on_lane t handler meta payload =
   Lanes.run t.lanes (lane_key t meta) (fun () -> handler meta payload)
 

@@ -174,6 +174,26 @@ let mempool_double_free () =
   Alcotest.(check int) "double free recorded" 1 (San.count San.Buf_double_free);
   Alcotest.(check bool) "double free is a violation" true (San.violations () > 0)
 
+let lane_race_planted () =
+  San.reset ();
+  (* Same txn, same cell, two lanes, no lock in between: a race. *)
+  San.lane_write ~txn:"tx(1,1)" ~cell:"engine.tx-state" ~lane:0;
+  San.lane_write ~txn:"tx(1,1)" ~cell:"engine.tx-state" ~lane:1;
+  Alcotest.(check int) "cross-lane write caught" 1 (San.count San.Lane_race);
+  Alcotest.(check bool) "lane race is a violation" true (San.violations () > 0)
+
+let lane_race_lock_handoff () =
+  San.reset ();
+  San.lane_write ~txn:"tx(1,2)" ~cell:"engine.tx-state" ~lane:0;
+  San.lane_lock ~txn:"tx(1,2)";
+  San.lane_write ~txn:"tx(1,2)" ~cell:"engine.tx-state" ~lane:1;
+  (* Same lane twice is always fine; other transactions are independent. *)
+  San.lane_write ~txn:"tx(1,3)" ~cell:"engine.tx-state" ~lane:0;
+  San.lane_write ~txn:"tx(1,3)" ~cell:"engine.tx-state" ~lane:0;
+  San.lane_forget ~txn:"tx(1,2)";
+  San.lane_write ~txn:"tx(1,2)" ~cell:"engine.tx-state" ~lane:1;
+  Alcotest.(check int) "no race" 0 (San.count San.Lane_race)
+
 let chaos_sanitize_clean () =
   (* run_seed already fails a seed on sanitizer violations; assert the
      collector really is empty afterwards as well. *)
@@ -199,5 +219,9 @@ let suite =
     Alcotest.test_case "planted mempool leak is caught" `Quick mempool_leak;
     Alcotest.test_case "balanced mempool stays clean" `Quick mempool_no_false_leak;
     Alcotest.test_case "mempool double free is caught" `Quick mempool_double_free;
+    Alcotest.test_case "planted cross-lane write is caught" `Quick
+      lane_race_planted;
+    Alcotest.test_case "lock hand-off and same-lane writes stay clean" `Quick
+      lane_race_lock_handoff;
     Alcotest.test_case "chaos runs sanitizer-clean" `Quick chaos_sanitize_clean;
   ]

@@ -1,0 +1,130 @@
+(* Determinism effects: transitive "nondet" reachability.
+
+   A def has a direct nondet *leaf* if it references one of the banned
+   ambient primitives (Random, Unix.gettimeofday, Sys.time, Hashtbl.hash,
+   Obj.magic — the same table the syntactic lint bans per-file) or applies
+   physical equality to a value of mutable type (array, bytes, ref, or any
+   record with mutable fields — pointer identity of mutable store is
+   allocation-order dependent, which the seeded simulation must not
+   observe).
+
+   The pass then runs a multi-source BFS from the protocol entry points
+   (Node handlers, Scheduler/Sim callbacks, Chaos schedules, any handle_
+   def) over the whole-program call graph and reports every leaf
+   reachable from an entry, with the witness call chain. This replaces the
+   old "is the identifier mentioned in this file" heuristic with real
+   reachability: a nondet call three helpers below a handler is still a
+   violation, while one in dead bench-only code is not. *)
+
+let rule = "nondet-effect"
+
+type leaf = { lf_line : int; lf_msg : string }
+
+let run (spec : Spec.t) (prog : Ir.program) : Diag.violation list =
+  (* Direct leaves per def: banned references plus phys-eq-on-mutables. *)
+  let leaves_of (d : Ir.def) =
+    let from_calls =
+      List.filter_map
+        (fun (callee, line) ->
+          match spec.nondet_leaf callee with
+          | Some msg -> Some { lf_line = line; lf_msg = msg }
+          | None -> None)
+        (Ir.calls_of prog d.d_name)
+    in
+    let phys = ref [] in
+    let mutable_head ty =
+      let h = Ir.type_head d ty in
+      h = "array" || h = "bytes" || h = "Stdlib.ref" || h = "ref"
+      || Hashtbl.mem prog.mutable_types h
+    in
+    let open Tast_iterator in
+    let super = default_iterator in
+    let expr self (e : Typedtree.expression) =
+      (match e.exp_desc with
+      | Texp_apply (f, args) -> (
+          match f.exp_desc with
+          | Texp_ident (p, _, _)
+            when (let n = d.d_resolve p in
+                  n = "Stdlib.==" || n = "Stdlib.!=") -> (
+              match args with
+              | (_, Some a) :: _ when mutable_head a.exp_type ->
+                  phys :=
+                    {
+                      lf_line = Ir.line_of e.exp_loc;
+                      lf_msg =
+                        "physical equality on a mutable value ("
+                        ^ Ir.type_head d a.exp_type
+                        ^ ") observes allocation order";
+                    }
+                    :: !phys
+              | _ -> ())
+          | _ -> ())
+      | _ -> ());
+      super.expr self e
+    in
+    let it = { super with expr } in
+    it.expr it d.d_body;
+    from_calls @ List.rev !phys
+  in
+  (* BFS from the entry set over the call graph. *)
+  let parent : (string, string * int) Hashtbl.t = Hashtbl.create 256 in
+  let visited : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  List.iter
+    (fun name ->
+      let d = Hashtbl.find prog.defs name in
+      if spec.entry d && not (Hashtbl.mem visited name) then begin
+        Hashtbl.replace visited name ();
+        Queue.push name queue
+      end)
+    prog.order;
+  let order_reached = ref [] in
+  while not (Queue.is_empty queue) do
+    let name = Queue.pop queue in
+    order_reached := name :: !order_reached;
+    List.iter
+      (fun (callee, line) ->
+        if Hashtbl.mem prog.defs callee && not (Hashtbl.mem visited callee)
+        then begin
+          Hashtbl.replace visited callee ();
+          Hashtbl.replace parent callee (name, line);
+          Queue.push callee queue
+        end)
+      (Ir.calls_of prog name)
+  done;
+  let chain_to name =
+    (* Frames from the entry point down to [name] (inclusive of callers,
+       excluding the leaf line which is the violation site itself). *)
+    let rec up acc name =
+      match Hashtbl.find_opt parent name with
+      | None -> acc
+      | Some (caller, line) ->
+          let d = Hashtbl.find prog.defs caller in
+          up
+            ({ Diag.fr_def = caller; fr_file = d.d_file; fr_line = line }
+            :: acc)
+            caller
+    in
+    up [] name
+  in
+  let seen = Hashtbl.create 32 in
+  List.rev !order_reached
+  |> List.concat_map (fun name ->
+         let d = Hashtbl.find prog.defs name in
+         List.filter_map
+           (fun lf ->
+             let key = (d.d_file, lf.lf_line, lf.lf_msg) in
+             if Hashtbl.mem seen key then None
+             else begin
+               Hashtbl.replace seen key ();
+               let chain =
+                 chain_to name
+                 @ [ { Diag.fr_def = name; fr_file = d.d_file;
+                       fr_line = lf.lf_line } ]
+               in
+               Some
+                 (Diag.v ~file:d.d_file ~line:lf.lf_line ~rule ~chain
+                    ("nondeterministic effect reachable from a protocol \
+                      entry point: " ^ lf.lf_msg))
+             end)
+           (leaves_of d))

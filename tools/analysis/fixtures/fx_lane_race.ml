@@ -1,0 +1,20 @@
+(* TreatyCheck --expect-fail fixture (lane-race).
+
+   The same mutable field is written from two different scheduler lanes
+   (literal keys 0 and 1) with no Lock_table.acquire on either path: jobs
+   on different lanes interleave at every blocking point, so the increments
+   race. The lane pass must report field [shared.hits] written from lane
+   classes #0 and #1. Routing both writes through one lane key makes this
+   file analyze clean. *)
+
+module Scheduler = Treaty_sched.Scheduler
+
+type shared = { mutable hits : int }
+
+let cell = { hits = 0 }
+
+let bump_even () = cell.hits <- cell.hits + 1
+
+let pump lanes =
+  Scheduler.Lanes.submit lanes 0 bump_even;
+  Scheduler.Lanes.submit lanes 1 (fun () -> cell.hits <- cell.hits + 7)

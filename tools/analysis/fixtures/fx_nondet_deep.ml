@@ -1,0 +1,15 @@
+(* TreatyCheck --expect-fail fixture (nondet-effect).
+
+   An ambient PRNG call three frames below a protocol handler. The
+   syntactic lint only flags Random in protocol *files*; the determinism
+   pass must follow handle_retry -> pick -> backoff -> roll and report the
+   Random.int site with that chain. Replacing [roll] with a constant makes
+   this file analyze clean. *)
+
+let roll () = Random.int 1000
+
+let backoff n = n + roll ()
+
+let pick n = backoff n * 2
+
+let handle_retry n = pick n

@@ -1,0 +1,18 @@
+(* TreatyCheck --expect-fail fixture (taint-escape).
+
+   A derived subkey is laundered through two string helpers and shipped on
+   the untrusted wire without Aead.seal. The taint pass must report the
+   Net.send site inside [ship] with a witness chain handle_leak -> relay ->
+   ship. Deleting the [Keys.derive] call (or sealing the payload) makes
+   this file analyze clean. *)
+
+module Keys = Treaty_crypto.Keys
+module Net = Treaty_netsim.Net
+
+let massage k = String.sub k 0 16
+
+let ship net body = Net.send net ~src:0 ~dst:1 body
+
+let relay net body = ship net ("hdr:" ^ body)
+
+let handle_leak net master = relay net (massage (Keys.derive master "fixture"))

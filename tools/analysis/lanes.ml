@@ -1,0 +1,489 @@
+(* Lane/lock-order safety.
+
+   Two rules over one extracted graph:
+
+   lock-order — every Lock_table.acquire site is classified by its ~key
+   argument: a string literal is its own lock class ("A"), anything dynamic
+   is the single class <dyn>. Within a def, events are scanned in body
+   order: acquiring B while A is held adds an order edge A->B (releases
+   clear the held set); calling a function while holding A adds A->c for
+   every class c the callee may transitively acquire. A cycle between
+   *distinct named* classes is an ABBA deadlock and is reported with the
+   acquisition sites. <dyn> edges never form cycles on purpose: Treaty
+   acquires per-key locks incrementally and resolves conflicts by timeout
+   (the paper's deadlock strategy), so dynamic multi-key acquisition is by
+   design and checked at runtime by TreatySan's Lock_conflict warnings.
+
+   lane-race — every Lanes.submit/run site roots a *lane context*, keyed by
+   the syntactic class of its lane-key argument (a literal int is its own
+   class; a dynamic expression is one class per spelling). The closure (or
+   named function) submitted runs under that class, as does everything it
+   transitively calls; a dispatcher that submits one of its own function
+   parameters (Node.on_lane) attributes the functions its call sites pass
+   in. Every mutable-record-field write reachable from a lane root is
+   recorded under the root's class; a field written from two or more
+   distinct classes, at least one of them without a Lock_table.acquire on
+   its witness path, is a cross-lane unguarded write. The runtime
+   counterpart is TreatySan's Lane_race assert, so the static pass and the
+   sanitizer cross-validate in the chaos sweep. *)
+
+let rule_lock = "lock-order"
+let rule_lane = "lane-race"
+
+type event =
+  | Acquire of string * int  (* lock class, line *)
+  | Release
+  | Call of string * int  (* resolved callee, line *)
+
+(* What a submitted inline closure does. *)
+type closure_info = {
+  ci_refs : string list;  (* known defs it references *)
+  ci_writes : (string * int) list;  (* "Type.field", line *)
+  ci_guarded : bool;  (* acquires a lock itself *)
+  ci_params : int list;  (* enclosing-def param indices it invokes *)
+}
+
+type job = Jnamed of string | Jclosure of closure_info
+
+type facts = {
+  mutable events : event list;  (* body order, closure interiors excluded *)
+  mutable writes : (string * int) list;
+  mutable acquires_locally : bool;
+  mutable lanes : (string * job * int) list;  (* key class, job, line *)
+  mutable dispatches_param : (int * string) list;
+}
+
+let labelled_arg label args =
+  List.find_map
+    (fun (l, eo) ->
+      match (l, eo) with
+      | Asttypes.Labelled l', Some e when l' = label -> Some e
+      | _ -> None)
+    args
+
+let positional_args args =
+  List.filter_map
+    (fun (l, eo) ->
+      match (l, eo) with
+      | Asttypes.Nolabel, Some e -> Some e
+      | _ -> None)
+    args
+
+(* A short deterministic rendering of a lane-key expression: its class. *)
+let rec expr_class (d : Ir.def) (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_constant (Const_int n) -> "#" ^ string_of_int n
+  | Texp_constant (Const_string (s, _, _)) -> "\"" ^ s ^ "\""
+  | Texp_ident (p, _, _) ->
+      let n = d.d_resolve p in
+      if n <> "" then n else Path.last p
+  | Texp_apply (f, _) -> expr_class d f ^ "(..)"
+  | Texp_field (_, _, lbl) -> "." ^ lbl.lbl_name
+  | _ -> "<expr>"
+
+let lock_class (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_constant (Const_string (s, _, _)) -> "\"" ^ s ^ "\""
+  | _ -> "<dyn>"
+
+let head_path (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Some p
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) -> Some p
+  | _ -> None
+
+let field_key (d : Ir.def) (e1 : Typedtree.expression)
+    (lbl : Types.label_description) =
+  let ty = Ir.type_head d e1.exp_type in
+  (if ty = "" then "?" else ty) ^ "." ^ lbl.lbl_name
+
+let run (spec : Spec.t) (prog : Ir.program) : Diag.violation list =
+  let facts_tbl : (string, facts) Hashtbl.t = Hashtbl.create 256 in
+  let special name =
+    spec.lock_acquire name || spec.lock_release name || spec.lane_submit name
+  in
+  (* Everything an inline closure references, writes and dispatches. *)
+  let closure_info (d : Ir.def) param_index_of (job : Typedtree.expression) =
+    let refs = ref [] and writes = ref [] in
+    let guarded = ref false and params = ref [] in
+    let open Tast_iterator in
+    let super = default_iterator in
+    let expr self (e : Typedtree.expression) =
+      (match e.exp_desc with
+      | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _)
+        when spec.lock_acquire (d.d_resolve p) ->
+          guarded := true
+      | Texp_ident (p, _, _) -> (
+          let n = d.d_resolve p in
+          if n <> "" && (not (special n)) && Hashtbl.mem prog.defs n then
+            refs := n :: !refs
+          else
+            match p with
+            | Path.Pident id -> (
+                match param_index_of id with
+                | Some i -> params := i :: !params
+                | None -> ())
+            | _ -> ())
+      | Texp_setfield (e1, _, lbl, _) ->
+          writes := (field_key d e1 lbl, Ir.line_of e.exp_loc) :: !writes
+      | _ -> ());
+      super.expr self e
+    in
+    let it = { super with expr } in
+    it.expr it job;
+    {
+      ci_refs = List.rev !refs;
+      ci_writes = List.rev !writes;
+      ci_guarded = !guarded;
+      ci_params = List.sort_uniq compare !params;
+    }
+  in
+  (* --- per-def fact extraction ------------------------------------------- *)
+  let extract (d : Ir.def) =
+    let f =
+      {
+        events = [];
+        writes = [];
+        acquires_locally = false;
+        lanes = [];
+        dispatches_param = [];
+      }
+    in
+    let params = Ir.params_of_body d.d_body in
+    let param_index_of id =
+      List.find_map
+        (fun (i, pid) -> if Ident.same pid id then Some i else None)
+        params
+    in
+    let skip : Typedtree.expression list ref = ref [] in
+    let submit_job key_class line (job : Typedtree.expression) =
+      match head_path job with
+      | Some p -> (
+          let n = d.d_resolve p in
+          if n <> "" && Hashtbl.mem prog.defs n then
+            f.lanes <- (key_class, Jnamed n, line) :: f.lanes
+          else
+            match p with
+            | Path.Pident id -> (
+                match param_index_of id with
+                | Some i ->
+                    f.dispatches_param <- (i, key_class) :: f.dispatches_param
+                | None -> ())
+            | _ -> ())
+      | None -> (
+          match job.exp_desc with
+          | Texp_function _ ->
+              skip := job :: !skip;
+              let ci = closure_info d param_index_of job in
+              f.lanes <- (key_class, Jclosure ci, line) :: f.lanes;
+              List.iter
+                (fun i ->
+                  f.dispatches_param <- (i, key_class) :: f.dispatches_param)
+                ci.ci_params
+          | _ -> ())
+    in
+    let open Tast_iterator in
+    let super = default_iterator in
+    let expr self (e : Typedtree.expression) =
+      if List.memq e !skip then ()
+      else begin
+        (match e.exp_desc with
+        | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) ->
+            let callee = d.d_resolve p in
+            let line = Ir.line_of e.exp_loc in
+            if spec.lock_acquire callee then begin
+              f.acquires_locally <- true;
+              let cls =
+                match labelled_arg "key" args with
+                | Some k -> lock_class k
+                | None -> "<dyn>"
+              in
+              f.events <- Acquire (cls, line) :: f.events
+            end
+            else if spec.lock_release callee then
+              f.events <- Release :: f.events
+            else if spec.lane_submit callee then begin
+              (* submit lanes key job — key and job are the trailing
+                 positional arguments. *)
+              match List.rev (positional_args args) with
+              | job :: key :: _ -> submit_job (expr_class d key) line job
+              | _ -> ()
+            end
+        | Texp_ident (p, _, _) ->
+            (* A function mentioned without application still counts as a
+               potential call. *)
+            let n = d.d_resolve p in
+            if n <> "" && (not (special n)) && Hashtbl.mem prog.defs n then
+              f.events <- Call (n, Ir.line_of e.exp_loc) :: f.events
+        | Texp_setfield (e1, _, lbl, _) ->
+            f.writes <- (field_key d e1 lbl, Ir.line_of e.exp_loc) :: f.writes
+        | _ -> ());
+        super.expr self e
+      end
+    in
+    let it = { super with expr } in
+    it.expr it d.d_body;
+    f.events <- List.rev f.events;
+    f.writes <- List.rev f.writes;
+    f.lanes <- List.rev f.lanes;
+    Hashtbl.replace facts_tbl d.d_name f
+  in
+  List.iter (fun name -> extract (Hashtbl.find prog.defs name)) prog.order;
+  let facts name = Hashtbl.find_opt facts_tbl name in
+  (* --- lock-order -------------------------------------------------------- *)
+  (* Transitive acquire classes per def, to a fixed point. *)
+  let acq : (string, (string, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  List.iter (fun name -> Hashtbl.replace acq name (Hashtbl.create 4)) prog.order;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun name ->
+        match facts name with
+        | None -> ()
+        | Some f ->
+            let mine = Hashtbl.find acq name in
+            let add c =
+              if not (Hashtbl.mem mine c) then begin
+                Hashtbl.replace mine c ();
+                changed := true
+              end
+            in
+            List.iter
+              (function
+                | Acquire (c, _) -> add c
+                | Call (g, _) -> (
+                    match Hashtbl.find_opt acq g with
+                    | Some theirs -> Hashtbl.iter (fun c () -> add c) theirs
+                    | None -> ())
+                | Release -> ())
+              f.events)
+      prog.order
+  done;
+  (* Order edges with witness sites. *)
+  let edges : (string * string, Diag.frame) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun name ->
+      match facts name with
+      | None -> ()
+      | Some f ->
+          let d = Hashtbl.find prog.defs name in
+          let held = ref [] in
+          let edge a b line =
+            if a <> b && not (Hashtbl.mem edges (a, b)) then
+              Hashtbl.replace edges (a, b)
+                { Diag.fr_def = name; fr_file = d.d_file; fr_line = line }
+          in
+          List.iter
+            (function
+              | Acquire (c, line) ->
+                  List.iter (fun h -> edge h c line) !held;
+                  if not (List.mem c !held) then held := !held @ [ c ]
+              | Release -> held := []
+              | Call (g, line) -> (
+                  match Hashtbl.find_opt acq g with
+                  | None -> ()
+                  | Some theirs ->
+                      Hashtbl.iter
+                        (fun c () -> List.iter (fun h -> edge h c line) !held)
+                        theirs))
+            f.events)
+    prog.order;
+  let lock_violations = ref [] in
+  let nodes =
+    Hashtbl.fold (fun (a, b) _ acc -> a :: b :: acc) edges []
+    |> List.sort_uniq compare
+    |> List.filter (fun c -> c <> "<dyn>")
+  in
+  let succs a =
+    Hashtbl.fold
+      (fun (x, y) site acc ->
+        if x = a && y <> "<dyn>" then (y, site) :: acc else acc)
+      edges []
+    |> List.sort compare
+  in
+  let reported_cycles = Hashtbl.create 4 in
+  List.iter
+    (fun start ->
+      let rec dfs path node =
+        List.iter
+          (fun (next, site) ->
+            if next = start then begin
+              let cycle = List.rev ((node, site) :: path) in
+              let key =
+                List.map fst cycle |> List.sort compare |> String.concat ","
+              in
+              if not (Hashtbl.mem reported_cycles key) then begin
+                Hashtbl.replace reported_cycles key ();
+                let sites = List.map snd cycle in
+                let first = List.hd sites in
+                let names = List.map fst cycle in
+                let desc = String.concat " -> " (names @ [ List.hd names ]) in
+                lock_violations :=
+                  Diag.v ~file:first.Diag.fr_file ~line:first.Diag.fr_line
+                    ~rule:rule_lock ~chain:sites
+                    ("lock acquisition order cycle " ^ desc
+                   ^ " (ABBA deadlock): impose one global order")
+                  :: !lock_violations
+              end
+            end
+            else if not (List.exists (fun (n, _) -> n = next) path) then
+              dfs ((node, site) :: path) next)
+          (succs node)
+      in
+      dfs [] start)
+    nodes;
+  (* --- lane-race --------------------------------------------------------- *)
+  let write_sites :
+      (string, (string * bool * Diag.frame list * int) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let add_write field cls guarded chain line =
+    let l =
+      match Hashtbl.find_opt write_sites field with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Hashtbl.replace write_sites field l;
+          l
+    in
+    l := (cls, guarded, chain, line) :: !l
+  in
+  (* Seeds: (class, initial guarded, root def, submitting frame). *)
+  let frame_of name line =
+    let d = Hashtbl.find prog.defs name in
+    { Diag.fr_def = name; fr_file = d.d_file; fr_line = line }
+  in
+  let seeds = ref [] in
+  let seed_closure cls owner site ci =
+    List.iter
+      (fun (field, line) ->
+        add_write field cls ci.ci_guarded [ frame_of owner line ] line)
+      ci.ci_writes;
+    List.iter
+      (fun r -> seeds := (cls, ci.ci_guarded, r, frame_of owner site) :: !seeds)
+      ci.ci_refs
+  in
+  List.iter
+    (fun name ->
+      match facts name with
+      | None -> ()
+      | Some f ->
+          List.iter
+            (fun (cls, job, line) ->
+              match job with
+              | Jnamed n ->
+                  seeds := (cls, false, n, frame_of name line) :: !seeds
+              | Jclosure ci -> seed_closure cls name line ci)
+            f.lanes)
+    prog.order;
+  (* Dispatcher call sites: a known function (or closure) passed as the
+     dispatcher's job parameter runs under the dispatcher's key class. *)
+  List.iter
+    (fun name ->
+      let d = Hashtbl.find prog.defs name in
+      let params = Ir.params_of_body d.d_body in
+      let param_index_of id =
+        List.find_map
+          (fun (i, pid) -> if Ident.same pid id then Some i else None)
+          params
+      in
+      let open Tast_iterator in
+      let super = default_iterator in
+      let expr self (e : Typedtree.expression) =
+        (match e.exp_desc with
+        | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
+            let callee = d.d_resolve p in
+            match facts callee with
+            | Some cf when cf.dispatches_param <> [] ->
+                let positional = positional_args args in
+                List.iter
+                  (fun (i, cls) ->
+                    match List.nth_opt positional i with
+                    | None -> ()
+                    | Some actual -> (
+                        match head_path actual with
+                        | Some q ->
+                            let n = d.d_resolve q in
+                            if n <> "" && Hashtbl.mem prog.defs n then
+                              seeds :=
+                                ( cls, false, n,
+                                  frame_of name (Ir.line_of e.exp_loc) )
+                                :: !seeds
+                        | None -> (
+                            match actual.exp_desc with
+                            | Texp_function _ ->
+                                seed_closure cls name (Ir.line_of e.exp_loc)
+                                  (closure_info d param_index_of actual)
+                            | _ -> ())))
+                  cf.dispatches_param
+            | _ -> ())
+        | _ -> ());
+        super.expr self e
+      in
+      let it = { super with expr } in
+      it.expr it d.d_body)
+    prog.order;
+  (* Walk the call graph from each seed, carrying the guarded bit. *)
+  List.iter
+    (fun (cls, guarded0, root, site) ->
+      let visited : (string, bool) Hashtbl.t = Hashtbl.create 64 in
+      let rec walk name guarded chain depth =
+        if depth > 40 then ()
+        else
+          match Hashtbl.find_opt visited name with
+          | Some g when (not g) || guarded -> () (* unguarded visit subsumes *)
+          | _ -> (
+              Hashtbl.replace visited name guarded;
+              match facts name with
+              | None -> ()
+              | Some f ->
+                  let guarded = guarded || f.acquires_locally in
+                  List.iter
+                    (fun (field, line) ->
+                      add_write field cls guarded
+                        (List.rev (frame_of name line :: chain))
+                        line)
+                    f.writes;
+                  List.iter
+                    (function
+                      | Call (g, line) ->
+                          walk g guarded
+                            (frame_of name line :: chain)
+                            (depth + 1)
+                      | _ -> ())
+                    f.events)
+      in
+      walk root guarded0 [ site ] 0)
+    !seeds;
+  let lane_violations = ref [] in
+  let fields = Hashtbl.fold (fun k _ acc -> k :: acc) write_sites [] in
+  List.iter
+    (fun field ->
+      let sites = !(Hashtbl.find write_sites field) in
+      let classes =
+        List.map (fun (c, _, _, _) -> c) sites |> List.sort_uniq compare
+      in
+      if List.length classes >= 2 then
+        match List.find_opt (fun (_, guarded, _, _) -> not guarded) sites with
+        | None -> ()
+        | Some (cls, _, chain, line) ->
+            let file =
+              match List.rev chain with
+              | last :: _ -> last.Diag.fr_file
+              | [] -> "?"
+            in
+            lane_violations :=
+              Diag.v ~file ~line ~rule:rule_lane ~chain
+                (Printf.sprintf
+                   "mutable field %s is written from more than one lane (key \
+                    classes: %s; this write from lane %s) without a guarding \
+                    lock"
+                   field
+                   (String.concat ", " classes)
+                   cls)
+              :: !lane_violations)
+    (List.sort compare fields);
+  List.rev !lock_violations @ List.rev !lane_violations

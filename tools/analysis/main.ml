@@ -1,0 +1,89 @@
+(* treatycheck — TreatyCheck's command-line driver.
+
+   Loads every .cmt under the given paths (dune keeps them in .objs/
+   directories; pass lib trees from _build, or individual files), builds
+   the whole-program IR and runs the interprocedural passes:
+
+     taint   secret-taint escape        [taint-escape]
+     nondet  determinism effects        [nondet-effect]
+     lanes   lane/lock-order safety     [lane-race, lock-order]
+
+   Exit 0 when clean (or, with --expect-fail, when violations were found),
+   1 on findings or stale allowlist entries, 2 on usage/load errors. The
+   allowlist file is shared with treaty-lint. *)
+
+let usage () =
+  prerr_endline
+    "usage: treatycheck [--pass taint|nondet|lanes|all] [--allowlist FILE]\n\
+    \       [--expect-fail] [--self-test] PATHS...\n\
+     PATHS are .cmt files or directories searched recursively for them.";
+  exit 2
+
+let () =
+  let pass = ref "all" in
+  let allowlist = ref None in
+  let expect_fail = ref false in
+  let self_test = ref false in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--pass" :: v :: rest ->
+        if not (List.mem v [ "taint"; "nondet"; "lanes"; "all" ]) then usage ();
+        pass := v;
+        parse rest
+    | "--allowlist" :: f :: rest ->
+        allowlist := Some f;
+        parse rest
+    | "--expect-fail" :: rest ->
+        expect_fail := true;
+        parse rest
+    | "--self-test" :: rest ->
+        self_test := true;
+        parse rest
+    | p :: rest ->
+        if String.length p > 0 && p.[0] = '-' then usage ();
+        paths := p :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !self_test then exit (Selftest.run ());
+  if !paths = [] then usage ();
+  let prog, units = Ir.load_paths (List.rev !paths) in
+  if units = 0 then begin
+    prerr_endline "treatycheck: no .cmt files found under the given paths";
+    exit 2
+  end;
+  let spec = Spec.production in
+  let want p = !pass = "all" || !pass = p in
+  let violations =
+    (if want "taint" then Taint.run spec prog else [])
+    @ (if want "nondet" then Determinism.run spec prog else [])
+    @ if want "lanes" then Lanes.run spec prog else []
+  in
+  let active_rules =
+    (if want "taint" then [ Taint.rule ] else [])
+    @ (if want "nondet" then [ Determinism.rule ] else [])
+    @ if want "lanes" then [ Lanes.rule_lane; Lanes.rule_lock ] else []
+  in
+  (* The allowlist is shared with treaty-lint and across analysis scopes:
+     entries for rules other tools (or other passes) own, or for files
+     outside the tree being analyzed, are not "unused" here. *)
+  let src_files =
+    Hashtbl.fold (fun _ (d : Ir.def) acc -> d.Ir.d_file :: acc) prog.Ir.defs []
+    |> List.sort_uniq compare
+  in
+  let allows =
+    match !allowlist with
+    | None -> []
+    | Some f ->
+        Diag.load_allowlist f
+        |> List.filter (fun (a : Diag.allow) ->
+               List.mem a.a_rule active_rules
+               && List.exists
+                    (fun file -> String.ends_with ~suffix:a.suffix file)
+                    src_files)
+  in
+  exit
+    (Diag.finish
+       ~label:("treatycheck --pass " ^ !pass)
+       ~expect_fail:!expect_fail ~allows ~files:units violations)

@@ -1,0 +1,231 @@
+(* Hermetic self-tests for the interprocedural passes.
+
+   Each case is a tiny OCaml source typechecked in-process (compiler-libs
+   Typemod against the ambient stdlib), loaded as the synthetic unit [Self]
+   and analyzed with a spec whose source/sink/lock/lane tables point at the
+   case's own helpers. No fixture files, no dune plumbing: `treatycheck
+   --self-test` must pass anywhere the tool builds, and a regression in
+   resolution, summaries or reachability shows up as a named case. *)
+
+type case = {
+  label : string;
+  rule : string;  (* which pass + which rule the case exercises *)
+  expect : int;  (* violations of [rule] the pass must report *)
+  source : string;
+}
+
+let cases =
+  [
+    {
+      label = "taint: secret laundered through two helpers reaches a sink";
+      rule = "taint-escape";
+      expect = 1;
+      source =
+        {|
+let get_secret () = Bytes.make 32 'k'
+let wrap b = Bytes.to_string b
+let relay s = print_string s
+let handle_x () = relay (wrap (get_secret ()))
+|};
+    };
+    {
+      label = "taint: declassifier on the path suppresses the flow";
+      rule = "taint-escape";
+      expect = 0;
+      source =
+        {|
+let get_secret () = Bytes.make 32 'k'
+let seal b = Bytes.to_string b
+let handle_x () = print_string (seal (get_secret ()))
+|};
+    };
+    {
+      label = "taint: direct source-to-sink in one body";
+      rule = "taint-escape";
+      expect = 1;
+      source =
+        {|
+let get_secret () = Bytes.make 32 'k'
+let handle_x () = print_string (Bytes.to_string (get_secret ()))
+|};
+    };
+    {
+      label = "nondet: PRNG two calls below a handler";
+      rule = "nondet-effect";
+      expect = 1;
+      source =
+        {|
+let leaf () = Random.int 10
+let mid () = leaf () + 1
+let handle_req () = mid ()
+|};
+    };
+    {
+      label = "nondet: unreachable PRNG is not reported";
+      rule = "nondet-effect";
+      expect = 0;
+      source =
+        {|
+let unused_leaf () = Random.int 10
+let handle_req () = 42
+|};
+    };
+    {
+      label = "nondet: physical equality on a mutable record";
+      rule = "nondet-effect";
+      expect = 1;
+      source =
+        {|
+type cell = { mutable v : int }
+let handle_eq (a : cell) (b : cell) = ignore a.v; a == b
+|};
+    };
+    {
+      label = "nondet: physical equality on an immutable value is fine";
+      rule = "nondet-effect";
+      expect = 0;
+      source = {|
+let handle_eq (a : string) (b : string) = a == b
+|};
+    };
+    {
+      label = "lanes: ABBA lock order cycle";
+      rule = "lock-order";
+      expect = 1;
+      source =
+        {|
+let acquire ~key n = ignore key; ignore n
+let release n = ignore n
+let ab n = acquire ~key:"A" n; acquire ~key:"B" n; release n
+let ba n = acquire ~key:"B" n; acquire ~key:"A" n; release n
+|};
+    };
+    {
+      label = "lanes: consistent lock order is fine";
+      rule = "lock-order";
+      expect = 0;
+      source =
+        {|
+let acquire ~key n = ignore key; ignore n
+let release n = ignore n
+let ab n = acquire ~key:"A" n; acquire ~key:"B" n; release n
+let ab2 n = acquire ~key:"A" n; acquire ~key:"B" n; release n
+|};
+    };
+    {
+      label = "lanes: same field written from two lane keys, unguarded";
+      rule = "lane-race";
+      expect = 1;
+      source =
+        {|
+type cell = { mutable v : int }
+let submit q k f = ignore q; ignore k; f ()
+let c = { v = 0 }
+let bump_a () = c.v <- 1
+let handle_a q = submit q 0 bump_a
+let handle_b q = submit q 1 (fun () -> c.v <- 2)
+|};
+    };
+    {
+      label = "lanes: cross-lane writes under a lock are fine";
+      rule = "lane-race";
+      expect = 0;
+      source =
+        {|
+type cell = { mutable v : int }
+let acquire ~key n = ignore key; ignore n
+let submit q k f = ignore q; ignore k; f ()
+let c = { v = 0 }
+let bump_a n = acquire ~key:"K" n; c.v <- 1
+let bump_b n = acquire ~key:"K" n; c.v <- 2
+let handle_a q = submit q 0 (fun () -> bump_a 1); submit q 1 (fun () -> bump_b 2)
+|};
+    };
+    {
+      label = "lanes: dispatcher attributes call-site jobs to its lane key";
+      rule = "lane-race";
+      expect = 1;
+      source =
+        {|
+type cell = { mutable v : int }
+let submit q k f = ignore q; ignore k; f ()
+let c = { v = 0 }
+let on_a q f = submit q 0 f
+let on_b q f = submit q 1 f
+let bump_a () = c.v <- 1
+let bump_b () = c.v <- 2
+let handle_x q = on_a q bump_a; on_b q bump_b
+|};
+    };
+  ]
+
+(* The self-test spec: production tables, with the case helpers standing in
+   for the crypto sources / lock table / lane scheduler. *)
+let spec =
+  {
+    Spec.production with
+    sources = (fun n -> n = "Self.get_secret");
+    declassifiers = (fun n -> n = "Self.seal");
+    taint_skip_unit = (fun _ -> false);
+    lock_acquire = (fun n -> n = "Self.acquire");
+    lock_release = (fun n -> n = "Self.release");
+    lane_submit = (fun n -> n = "Self.submit");
+  }
+
+let env =
+  lazy
+    (Compmisc.init_path ();
+     (* Self-test sources are deliberately scruffy; compiler warnings about
+        them are noise. *)
+     ignore (Warnings.parse_options false "-a");
+     Compmisc.initial_env ())
+
+let typecheck source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf "self.ml";
+  let parsed = Parse.implementation lexbuf in
+  let str, _, _, _, _ = Typemod.type_structure (Lazy.force env) parsed in
+  { Ir.ui_name = "Self"; ui_file = "self.ml"; ui_str = str }
+
+let pass_for rule prog =
+  match rule with
+  | "taint-escape" -> Taint.run spec prog
+  | "nondet-effect" -> Determinism.run spec prog
+  | _ -> Lanes.run spec prog
+
+let run () =
+  let failures = ref 0 in
+  List.iter
+    (fun c ->
+      match
+        let prog = Ir.load_units [ typecheck c.source ] in
+        pass_for c.rule prog
+      with
+      | exception exn ->
+          incr failures;
+          Printf.printf "FAIL %s\n  raised: " c.label;
+          Location.report_exception Format.std_formatter exn
+      | violations ->
+          let hits =
+            List.filter (fun (v : Diag.violation) -> v.rule = c.rule) violations
+          in
+          let stray =
+            List.filter (fun (v : Diag.violation) -> v.rule <> c.rule) violations
+          in
+          if List.length hits = c.expect && stray = [] then
+            Printf.printf "ok   %s\n" c.label
+          else begin
+            incr failures;
+            Printf.printf "FAIL %s\n  want %d violation(s) of %s, got:\n"
+              c.label c.expect c.rule;
+            List.iter (Diag.print_violation ~out:stdout) violations
+          end)
+    cases;
+  if !failures = 0 then begin
+    Printf.printf "treatycheck self-test: %d case(s) ok\n" (List.length cases);
+    0
+  end
+  else begin
+    Printf.printf "treatycheck self-test: %d failure(s)\n" !failures;
+    1
+  end

@@ -1,0 +1,307 @@
+(* Secret-taint escape: interprocedural value taint over the typedtree.
+
+   Taint origins per expression are a small bitset: bit 0 ("Const") means
+   the value derives from an actual secret — a call into a key/cipher
+   source (Keys / Chacha20) or a value of a secret type (Aead.key,
+   Keys.master); bit i+1 means it derives from parameter i of the def under
+   analysis. Each def gets a summary:
+
+     ret    — origin set of its result
+     flows  — parameters that reach a host sink inside it (transitively),
+              each with the witness chain of call frames down to the sink
+
+   computed to a fixed point over the call graph. A violation is a Const
+   origin reaching a sink: either directly in some def's body, or at a call
+   site that passes a secret into a parameter the callee's summary says
+   flows to a sink — that is the "laundered through a helper" case the
+   syntactic lint cannot see.
+
+   Deliberate approximations (documented in DESIGN.md §13): flows through
+   mutable heap cells (Buffer, Bytes blits, record stores) are not tracked
+   — the runtime Taint tracker owns that side; record field reads are
+   field-type-sensitive rather than propagating the record's taint (else
+   every access to a struct holding a key would be secret); values of
+   immediate type (int/bool/...) never carry taint; implicit flows through
+   branch conditions are ignored. Calls into unknown externals propagate
+   taint from arguments to result, which is what catches laundering through
+   String.sub / ( ^ ) and friends. *)
+
+let const_bit = 1
+let param_bit i = 1 lsl (i + 1)
+
+type summary = {
+  mutable ret : int;
+  (* (param index, sink label, frames from this def's body to the sink) *)
+  mutable flows : (int * string * Diag.frame list) list;
+}
+
+let rule = "taint-escape"
+
+let run (spec : Spec.t) (prog : Ir.program) : Diag.violation list =
+  let summaries : (string, summary) Hashtbl.t = Hashtbl.create 256 in
+  let summary name =
+    match Hashtbl.find_opt summaries name with
+    | Some s -> s
+    | None ->
+        let s = { ret = 0; flows = [] } in
+        Hashtbl.replace summaries name s;
+        s
+  in
+  let violations = ref [] in
+  let record = ref false in
+  let changed = ref false in
+  let add_flow s k label chain =
+    if not (List.exists (fun (k', l', _) -> k' = k && l' = label) s.flows)
+    then begin
+      s.flows <- (k, label, chain) :: s.flows;
+      changed := true
+    end
+  in
+  let add_ret s o =
+    let o' = s.ret lor o in
+    if o' <> s.ret then begin
+      s.ret <- o';
+      changed := true
+    end
+  in
+  let report label chain =
+    if !record then
+      match List.rev chain with
+      | [] -> ()
+      | last :: _ ->
+          violations :=
+            Diag.v ~file:last.Diag.fr_file ~line:last.Diag.fr_line ~rule
+              ~chain
+              ("secret value reaches " ^ label
+             ^ " without passing through Aead.seal")
+            :: !violations
+  in
+  let analyze_def (d : Ir.def) =
+    let s = summary d.d_name in
+    let env : (string, int) Hashtbl.t = Hashtbl.create 32 in
+    let secret_ty ty = List.mem (Ir.type_head d ty) spec.secret_types in
+    let bind id o = Hashtbl.replace env (Ident.unique_name id) o in
+    let frame line = { Diag.fr_def = d.d_name; fr_file = d.d_file; fr_line = line } in
+    let bind_pat pat o =
+      List.iter
+        (fun id -> bind id o)
+        (Typedtree.pat_bound_idents pat)
+    in
+    let rec eval (e : Typedtree.expression) : int =
+      let mask o =
+        if o <> 0 && Ir.could_carry_secret d e.exp_type then o else 0
+      in
+      match e.exp_desc with
+      | Texp_constant _ -> 0
+      | Texp_ident (p, _, _) ->
+          let local =
+            match p with
+            | Path.Pident id -> Hashtbl.find_opt env (Ident.unique_name id)
+            | _ -> None
+          in
+          let o =
+            match local with
+            | Some o -> o
+            | None ->
+                let n = d.d_resolve p in
+                if n <> "" && spec.sources n then const_bit
+                else (
+                  match Hashtbl.find_opt summaries n with
+                  | Some cs -> cs.ret land const_bit
+                  | None -> 0)
+          in
+          mask (if secret_ty e.exp_type then o lor const_bit else o)
+      | Texp_apply (f, args) ->
+          let arg_origins =
+            List.map
+              (fun (_, ao) -> match ao with Some a -> eval a | None -> 0)
+              args
+          in
+          let union = List.fold_left ( lor ) 0 arg_origins in
+          let callee =
+            match f.exp_desc with
+            | Texp_ident (p, _, _) -> (
+                match p with
+                | Path.Pident id
+                  when Hashtbl.mem env (Ident.unique_name id) ->
+                    ""
+                | _ -> d.d_resolve p)
+            | _ -> ""
+          in
+          let line = Ir.line_of e.exp_loc in
+          let iter_param_bits o fn =
+            let rec go j rest =
+              if rest <> 0 then begin
+                if rest land 1 <> 0 then fn j;
+                go (j + 1) (rest lsr 1)
+              end
+            in
+            go 0 (o lsr 1)
+          in
+          if callee = "" then mask (eval f lor union)
+          else (
+            match spec.sinks callee with
+            | Some label ->
+                List.iter
+                  (fun o ->
+                    if o land const_bit <> 0 then report label [ frame line ];
+                    iter_param_bits o (fun j ->
+                        add_flow s j label [ frame line ]))
+                  arg_origins;
+                0
+            | None ->
+                if spec.declassifiers callee then 0
+                else if spec.sources callee then mask const_bit
+                else (
+                  match Hashtbl.find_opt summaries callee with
+                  | Some cs ->
+                      List.iter
+                        (fun (k, label, chain) ->
+                          match List.nth_opt arg_origins k with
+                          | None | Some 0 -> ()
+                          | Some o ->
+                              let lifted = frame line :: chain in
+                              if o land const_bit <> 0 then
+                                report label lifted;
+                              iter_param_bits o (fun j ->
+                                  add_flow s j label lifted))
+                        cs.flows;
+                      let r = ref (cs.ret land const_bit) in
+                      List.iteri
+                        (fun j o ->
+                          if cs.ret land param_bit j <> 0 then r := !r lor o)
+                        arg_origins;
+                      mask !r
+                  | None -> mask union))
+      | Texp_let (_, vbs, body) ->
+          List.iter
+            (fun (vb : Typedtree.value_binding) ->
+              let o = eval vb.vb_expr in
+              bind_pat vb.vb_pat o)
+            vbs;
+          eval body
+      | Texp_function _ -> eval_function 0 e
+      | Texp_match (scrut, cases, _) ->
+          let o = eval scrut in
+          List.fold_left
+            (fun acc (c : Typedtree.computation Typedtree.case) ->
+              bind_pat c.c_lhs o;
+              (match c.c_guard with Some g -> ignore (eval g) | None -> ());
+              acc lor eval c.c_rhs)
+            0 cases
+      | Texp_try (body, cases) ->
+          let o = eval body in
+          List.fold_left
+            (fun acc (c : Typedtree.value Typedtree.case) ->
+              bind_pat c.c_lhs 0;
+              acc lor eval c.c_rhs)
+            o cases
+      | Texp_ifthenelse (c, a, b) ->
+          ignore (eval c);
+          eval a lor (match b with Some b -> eval b | None -> 0)
+      | Texp_sequence (a, b) ->
+          ignore (eval a);
+          eval b
+      | Texp_tuple es | Texp_array es ->
+          List.fold_left (fun acc e -> acc lor eval e) 0 es
+      | Texp_construct (_, _, es) ->
+          mask (List.fold_left (fun acc e -> acc lor eval e) 0 es)
+      | Texp_variant (_, eo) -> (
+          match eo with Some e -> eval e | None -> 0)
+      | Texp_record { fields; extended_expression } ->
+          (match extended_expression with
+          | Some e -> ignore (eval e)
+          | None -> ());
+          Array.iter
+            (fun (_, (rld : Typedtree.record_label_definition)) ->
+              match rld with
+              | Overridden (_, e) -> ignore (eval e)
+              | Kept _ -> ())
+            fields;
+          0
+      | Texp_field (e1, _, _) ->
+          ignore (eval e1);
+          if secret_ty e.exp_type then const_bit else 0
+      | Texp_setfield (e1, _, _, e2) ->
+          ignore (eval e1);
+          ignore (eval e2);
+          0
+      | _ -> default_children e
+    and eval_function i (e : Typedtree.expression) : int =
+      (* Closure encountered as a value: analyze its body (params carry no
+         origin unless secret-typed) and let the closure's taint be its
+         body's, so closures returning secrets propagate. *)
+      match e.exp_desc with
+      | Texp_function { param; cases; _ } ->
+          bind param 0;
+          List.fold_left
+            (fun acc (c : Typedtree.value Typedtree.case) ->
+              let pat_o = if secret_ty c.c_lhs.pat_type then const_bit else 0 in
+              bind_pat c.c_lhs pat_o;
+              match cases with
+              | [ _ ] -> acc lor eval_function i c.c_rhs
+              | _ -> acc lor eval c.c_rhs)
+            0 cases
+      | _ -> eval e
+    and default_children e =
+      let acc = ref 0 in
+      let open Tast_iterator in
+      let it =
+        { default_iterator with expr = (fun _ c -> acc := !acc lor eval c) }
+      in
+      default_iterator.expr it e;
+      !acc
+    in
+    (* Bind the def's own parameters to their Param origins (plus Const for
+       secret-typed parameters), then evaluate the innermost bodies. *)
+    let rec go i (e : Typedtree.expression) =
+      match e.exp_desc with
+      | Texp_function { param; cases; _ } ->
+          bind param (param_bit i);
+          List.iter
+            (fun (c : Typedtree.value Typedtree.case) ->
+              let o =
+                param_bit i
+                lor if secret_ty c.c_lhs.pat_type then const_bit else 0
+              in
+              bind_pat c.c_lhs o;
+              match cases with
+              | [ _ ] -> go (i + 1) c.c_rhs
+              | _ -> add_ret s (eval c.c_rhs))
+            cases
+      | _ -> add_ret s (eval e)
+    in
+    go 0 d.d_body
+  in
+  let analyzed =
+    List.filter
+      (fun name ->
+        match Hashtbl.find_opt prog.defs name with
+        | Some d -> not (spec.taint_skip_unit d.d_unit)
+        | None -> false)
+      prog.order
+  in
+  let rounds = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !rounds < 20 do
+    incr rounds;
+    changed := false;
+    List.iter
+      (fun name -> analyze_def (Hashtbl.find prog.defs name))
+      analyzed;
+    if not !changed then continue_ := false
+  done;
+  (* Final recording round over stable summaries. *)
+  record := true;
+  List.iter (fun name -> analyze_def (Hashtbl.find prog.defs name)) analyzed;
+  (* Dedup: the same flow can be reported through several call sites. *)
+  let seen = Hashtbl.create 32 in
+  List.filter
+    (fun (v : Diag.violation) ->
+      let key = (v.file, v.line, v.message) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    (List.rev !violations)

@@ -1,399 +1,20 @@
 (* treaty-lint: trust-zone, determinism and protocol-hygiene checker.
 
-   Parses every .ml file it is given (or finds under the directories it is
-   given) with the compiler's own parser and walks the AST looking for
-   references that violate the codebase's security architecture:
+   This is a thin driver: the rule engine (zones, banned-module tables, the
+   AST walk and its self-tests) lives in tools/analysis as [Syntactic],
+   where TreatyCheck's interprocedural passes share the same diagnostics
+   and allowlist machinery. See tools/analysis/syntactic.ml for the rules
+   themselves:
 
-   - crypto-primitive: the cipher/MAC primitives (Chacha20, Hmac) may only
-     be touched inside lib/crypto; everything else goes through Aead/Keys.
-   - untrusted-zone: code modelling the untrusted world (lib/netsim,
-     lib/memalloc, lib/storage/ssd.ml) must never reference Keys or Aead —
-     key material and sealing live on the enclave side of the boundary.
-   - hw-counter: Hw_counter (the raw SGX monotonic counter) is private to
-     lib/tee; the rest of the tree uses Enclave / the ROTE protocol.
-   - obs-zone: the observability layer (lib/obs) watches the protocol, it
-     does not participate in it — no key material (Keys), no sealing
-     (Aead); Hw_counter is already banned there by hw-counter, and the
-     nondeterminism rules keep its clock injected.
-   - cache-zone: the verified block cache (lib/storage/block_cache.ml)
-     holds decrypted, already-verified SSTable blocks in enclave memory;
-     it must stay pure bookkeeping — no Ssd (plaintext written back to the
-     untrusted disk) and no Net (plaintext on the wire). TreatySan taints
-     the cached bytes at runtime; this rule keeps the escape hatches out
-     of the module statically.
-   - wire-zone: the RPC layer (lib/rpc) encodes and decodes through
-     byte-region cursors over packet buffers; String.sub and ( ^ ) there
-     reintroduce the per-message copy-and-concat the zero-copy path exists
-     to eliminate.
-   - nondeterminism: ambient sources of nondeterminism (Random,
-     Unix.gettimeofday, Sys.time, Hashtbl.hash, Obj.magic) break the
-     seeded-simulation reproducibility contract.
-   - wildcard-match: protocol decode paths (node.ml, counter_client.ml)
-     must match exhaustively — a wildcard arm silently swallows new message
-     kinds and status codes.
-   - partial-failure: library code must return typed errors; failwith and
-     assert false turn protocol failures into process aborts.
+     crypto-primitive, untrusted-zone, hw-counter, obs-zone, cache-zone,
+     wire-zone, nondeterminism, wildcard-match, partial-failure
 
    Violations print as "file:line: [rule] message" and make the exit status
-   non-zero. Justified exceptions live in an allowlist file (--allowlist):
-   one "path-suffix rule reason..." entry per line, reason mandatory, and
-   unused entries are themselves reported so the list cannot rot. *)
-
-type zone = Crypto | Tee | Untrusted | Obs | Other
-
-let contains hay needle =
-  let lh = String.length hay and ln = String.length needle in
-  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
-  ln = 0 || go 0
-
-let zone_of path =
-  if contains path "lib/crypto/" then Crypto
-  else if contains path "lib/tee/" then Tee
-  else if
-    contains path "lib/netsim/" || contains path "lib/memalloc/"
-    || String.ends_with ~suffix:"lib/storage/ssd.ml" path
-  then Untrusted
-  else if contains path "lib/obs/" then Obs
-  else Other
-
-type violation = { file : string; line : int; rule : string; message : string }
-
-(* --- the rule engine ----------------------------------------------------- *)
-
-let lint ~path structure =
-  let zone = zone_of path in
-  let base = Filename.basename path in
-  let protocol_file = base = "node.ml" || base = "counter_client.ml" in
-  let cache_file = contains path "lib/storage/" && contains base "block_cache" in
-  let wire_file = contains path "lib/rpc/" in
-  let out = ref [] in
-  let report (loc : Location.t) rule message =
-    out :=
-      { file = path; line = loc.loc_start.Lexing.pos_lnum; rule; message }
-      :: !out
-  in
-  (* Module names banned in this file, by zone. *)
-  let banned_modules =
-    [ ( "Random",
-        ( "nondeterminism",
-          "ambient PRNG breaks seeded reproducibility; use Treaty_sim.Rng" ) )
-    ]
-    @ (match zone with
-      | Crypto -> []
-      | _ ->
-          [ ( "Chacha20",
-              ( "crypto-primitive",
-                "cipher primitive is private to lib/crypto; use Aead" ) );
-            ( "Hmac",
-              ( "crypto-primitive",
-                "MAC primitive is private to lib/crypto; use Aead/Keys" ) )
-          ])
-    @ (match zone with
-      | Tee -> []
-      | _ ->
-          [ ( "Hw_counter",
-              ( "hw-counter",
-                "raw SGX counter is private to lib/tee; use Enclave" ) )
-          ])
-    @ (match zone with
-      | Obs ->
-          [ ( "Keys",
-              ( "obs-zone",
-                "the observability layer must not handle key material" ) );
-            ( "Aead",
-              ( "obs-zone",
-                "the observability layer must not seal or open data" ) )
-          ]
-      | _ -> [])
-    @ (if cache_file then
-         [ ( "Ssd",
-             ( "cache-zone",
-               "the block cache holds decrypted blocks; plaintext must \
-                never flow back to the untrusted SSD" ) );
-           ( "Net",
-             ( "cache-zone",
-               "the block cache holds decrypted blocks; plaintext must \
-                never reach the network" ) )
-         ]
-       else [])
-    @
-    match zone with
-    | Untrusted ->
-        [ ( "Keys",
-            ( "untrusted-zone",
-              "untrusted code (netsim/ssd/memalloc) must not handle key \
-               material" ) );
-          ( "Aead",
-            ( "untrusted-zone",
-              "untrusted code (netsim/ssd/memalloc) must not seal or open \
-               data" ) )
-        ]
-    | _ -> []
-  in
-  let check_component loc name =
-    match List.assoc_opt name banned_modules with
-    | Some (rule, msg) -> report loc rule (name ^ ": " ^ msg)
-    | None -> ()
-  in
-  (* [value] marks a value path (last component is the value, not a module). *)
-  let check_modules loc lid ~value =
-    let comps = Longident.flatten lid in
-    let n = List.length comps in
-    List.iteri
-      (fun i c -> if (not value) || i < n - 1 then check_component loc c)
-      comps
-  in
-  let strip_stdlib = function "Stdlib" :: rest -> rest | l -> l in
-  let check_value loc lid =
-    match strip_stdlib (Longident.flatten lid) with
-    | [ "String"; "sub" ] when wire_file ->
-        report loc "wire-zone"
-          "String.sub in the wire hot path allocates a copy per message; \
-           slice byte regions of the packet buffer (Bytes.sub_string / blit)"
-    | [ "^" ] when wire_file ->
-        report loc "wire-zone"
-          "string concatenation in the wire hot path; write through a \
-           cursor into the packet buffer instead"
-    | [ "Unix"; "gettimeofday" ] ->
-        report loc "nondeterminism"
-          "Unix.gettimeofday: wall-clock read; simulated time comes from \
-           Sim.now"
-    | [ "Sys"; "time" ] ->
-        report loc "nondeterminism"
-          "Sys.time: host CPU clock; simulated time comes from Sim.now"
-    | [ "Hashtbl"; "hash" ] ->
-        report loc "nondeterminism"
-          "Hashtbl.hash varies across runtimes; use Treaty_util.Fnv.hash"
-    | [ "Obj"; "magic" ] ->
-        report loc "nondeterminism" "Obj.magic defeats the type system"
-    | [ "failwith" ] ->
-        report loc "partial-failure"
-          "failwith: library code returns typed errors, it does not raise \
-           Failure"
-    | _ -> ()
-  in
-  let open Ast_iterator in
-  let super = default_iterator in
-  let expr self (e : Parsetree.expression) =
-    (match e.pexp_desc with
-    | Pexp_ident { txt; loc } ->
-        check_modules loc txt ~value:true;
-        check_value loc txt
-    | Pexp_construct ({ txt; loc }, _) -> check_modules loc txt ~value:true
-    | Pexp_assert
-        { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); _ }
-      ->
-        report e.pexp_loc "partial-failure"
-          "assert false: encode the invariant in types or return an error"
-    | (Pexp_match (_, cases) | Pexp_function cases) when protocol_file ->
-        List.iter
-          (fun (c : Parsetree.case) ->
-            match c.pc_lhs.ppat_desc with
-            | Ppat_any ->
-                report c.pc_lhs.ppat_loc "wildcard-match"
-                  "wildcard arm in a protocol match silently swallows new \
-                   message kinds; match exhaustively"
-            | _ -> ())
-          cases
-    | _ -> ());
-    super.expr self e
-  in
-  let pat self (p : Parsetree.pattern) =
-    (match p.ppat_desc with
-    | Ppat_construct ({ txt; loc }, _) -> check_modules loc txt ~value:true
-    | _ -> ());
-    super.pat self p
-  in
-  let typ self (t : Parsetree.core_type) =
-    (match t.ptyp_desc with
-    | Ptyp_constr ({ txt; loc }, _) -> check_modules loc txt ~value:true
-    | _ -> ());
-    super.typ self t
-  in
-  let module_expr self (m : Parsetree.module_expr) =
-    (match m.pmod_desc with
-    | Pmod_ident { txt; loc } -> check_modules loc txt ~value:false
-    | _ -> ());
-    super.module_expr self m
-  in
-  let it = { super with expr; pat; typ; module_expr } in
-  it.structure it structure;
-  List.rev !out
-
-(* --- parsing ------------------------------------------------------------- *)
-
-let parse_source ~path src =
-  let lexbuf = Lexing.from_string src in
-  Lexing.set_filename lexbuf path;
-  Parse.implementation lexbuf
-
-let lint_file path =
-  let ic = open_in_bin path in
-  let src = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  match parse_source ~path src with
-  | structure -> lint ~path structure
-  | exception e ->
-      Printf.eprintf "%s: parse error\n" path;
-      (try Location.report_exception Format.err_formatter e
-       with _ -> Printf.eprintf "%s\n" (Printexc.to_string e));
-      exit 2
-
-let rec gather acc path =
-  if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list |> List.sort compare
-    |> List.fold_left
-         (fun acc name ->
-           if String.length name = 0 || name.[0] = '.' || name = "_build" then
-             acc
-           else gather acc (Filename.concat path name))
-         acc
-  else if Filename.check_suffix path ".ml" then path :: acc
-  else acc
-
-(* --- allowlist ----------------------------------------------------------- *)
-
-type allow = {
-  suffix : string;
-  a_rule : string;
-  reason : string;
-  mutable used : bool;
-}
-
-let load_allowlist path =
-  let ic = open_in path in
-  let rec lines acc n =
-    match input_line ic with
-    | exception End_of_file ->
-        close_in ic;
-        List.rev acc
-    | line ->
-        let line = String.trim line in
-        if line = "" || line.[0] = '#' then lines acc (n + 1)
-        else
-          let fields =
-            String.split_on_char ' ' line
-            |> List.concat_map (String.split_on_char '\t')
-            |> List.filter (fun s -> s <> "")
-          in
-          (match fields with
-          | suffix :: a_rule :: (_ :: _ as reason_words) ->
-              lines
-                ({ suffix; a_rule; reason = String.concat " " reason_words;
-                   used = false }
-                :: acc)
-                (n + 1)
-          | _ ->
-              Printf.eprintf
-                "%s:%d: malformed allowlist entry (want: path-suffix rule \
-                 reason...)\n"
-                path n;
-              exit 2)
-  in
-  lines [] 1
-
-let allowed allows (v : violation) =
-  List.exists
-    (fun a ->
-      if a.a_rule = v.rule && String.ends_with ~suffix:a.suffix v.file then begin
-        a.used <- true;
-        true
-      end
-      else false)
-    allows
-
-(* --- self-test ----------------------------------------------------------- *)
-
-(* (synthetic filename, source, rules expected to fire). Filenames steer the
-   zone logic; the sources never touch the real tree. *)
-let self_tests =
-  [ ("lib/core/node.ml", "let f x = match x with 0 -> () | _ -> ()",
-     [ "wildcard-match" ]);
-    ("lib/counter/counter_client.ml", "let f = function Some x -> x | _ -> 0",
-     [ "wildcard-match" ]);
-    ("lib/core/cluster.ml", "let f x = match x with 0 -> () | _ -> ()", []);
-    ("lib/storage/engine.ml", "let x = Hmac.mac k m", [ "crypto-primitive" ]);
-    ("lib/storage/engine.ml", "let x = Treaty_crypto.Chacha20.encrypt",
-     [ "crypto-primitive" ]);
-    ("lib/storage/engine.ml", "module H = Treaty_crypto.Hmac",
-     [ "crypto-primitive" ]);
-    ("lib/crypto/keys.ml", "let x = Hmac.mac k m", []);
-    ("lib/netsim/net.ml", "let x = Keys.master_of_secret s",
-     [ "untrusted-zone" ]);
-    ("lib/storage/ssd.ml", "let x = Aead.seal", [ "untrusted-zone" ]);
-    ("lib/memalloc/mempool.ml", "module K = Treaty_crypto.Keys",
-     [ "untrusted-zone" ]);
-    ("lib/storage/engine.ml", "let x = Keys.client_token m", []);
-    ("lib/storage/engine.ml", "let x = Treaty_tee.Hw_counter.read c",
-     [ "hw-counter" ]);
-    ("lib/tee/enclave.ml", "let x = Hw_counter.read c", []);
-    ("lib/obs/trace.ml", "let k = Keys.master_of_secret s", [ "obs-zone" ]);
-    ("lib/obs/metrics.ml", "let x = Treaty_crypto.Aead.seal", [ "obs-zone" ]);
-    ("lib/obs/trace.ml", "let c = Hw_counter.read c", [ "hw-counter" ]);
-    ("lib/obs/trace.ml", "let t = Unix.gettimeofday ()",
-     [ "nondeterminism" ]);
-    ("lib/obs/trace.ml", "let x = Metrics.incr \"a\"", []);
-    ("lib/core/node.ml", "let x = Random.int 5", [ "nondeterminism" ]);
-    ("lib/core/node.ml", "open Random", [ "nondeterminism" ]);
-    ("lib/core/node.ml", "let x = Unix.gettimeofday ()",
-     [ "nondeterminism" ]);
-    ("lib/core/node.ml", "let x = Sys.time ()", [ "nondeterminism" ]);
-    ("lib/core/node.ml", "let h = Hashtbl.hash key", [ "nondeterminism" ]);
-    ("lib/core/node.ml", "let h = Stdlib.Hashtbl.hash key",
-     [ "nondeterminism" ]);
-    ("lib/core/node.ml", "let t = Hashtbl.create 8", []);
-    ("lib/core/node.ml", "let x = Obj.magic 3", [ "nondeterminism" ]);
-    ("lib/core/node.ml", "let x () = failwith \"boom\"",
-     [ "partial-failure" ]);
-    ("lib/core/node.ml", "let x () = assert false", [ "partial-failure" ]);
-    ("lib/core/node.ml", "let x b = assert b", []);
-    ("lib/core/node.ml", "let x = try f () with _ -> 0", []);
-    ("lib/core/node.ml", "let x = 1", []);
-    ("lib/storage/block_cache.ml", "let spill ssd e v = Ssd.append ssd e v",
-     [ "cache-zone" ]);
-    ("lib/storage/block_cache.ml",
-     "let leak net v = Treaty_netsim.Net.send net v", [ "cache-zone" ]);
-    ("lib/storage/block_cache.ml", "let t = Hashtbl.create 8", []);
-    ("lib/storage/engine.ml", "let x = Ssd.read ssd", []);
-    ("lib/rpc/secure_msg.ml", "let x = String.sub s 0 4", [ "wire-zone" ]);
-    ("lib/rpc/secure_msg.ml", "let x = Stdlib.String.sub s 0 4",
-     [ "wire-zone" ]);
-    ("lib/rpc/erpc.ml", "let x = a ^ b", [ "wire-zone" ]);
-    ("lib/rpc/erpc.ml", "let x = Bytes.sub_string b 0 4", []);
-    ("lib/rpc/transport.ml", "let x = a ^ b", [ "wire-zone" ]);
-    ("lib/core/node.ml", "let x = String.sub s 0 4", [])
-  ]
-
-let run_self_test () =
-  let failures = ref 0 in
-  List.iteri
-    (fun i (path, src, expected) ->
-      let fired =
-        lint ~path (parse_source ~path src)
-        |> List.map (fun v -> v.rule)
-        |> List.sort_uniq compare
-      in
-      let expected = List.sort_uniq compare expected in
-      if fired <> expected then begin
-        incr failures;
-        Printf.printf "self-test %d (%s): expected [%s], got [%s]\n  %s\n" i
-          path
-          (String.concat "; " expected)
-          (String.concat "; " fired)
-          src
-      end)
-    self_tests;
-  if !failures = 0 then begin
-    Printf.printf "treaty-lint self-test: %d cases ok\n"
-      (List.length self_tests);
-    exit 0
-  end
-  else begin
-    Printf.printf "treaty-lint self-test: %d failures\n" !failures;
-    exit 1
-  end
-
-(* --- driver -------------------------------------------------------------- *)
+   non-zero. Justified exceptions live in the allowlist file shared with
+   treatycheck (--allowlist, one "path-suffix rule reason..." entry per
+   line, reason mandatory); entries for rules this tool does not own are
+   treatycheck's business and are ignored here, while entries for our rules
+   that suppress nothing are reported so the list cannot rot. *)
 
 let () =
   let allowlist = ref "" in
@@ -412,38 +33,23 @@ let () =
   Arg.parse spec
     (fun p -> paths := p :: !paths)
     "treaty-lint [options] FILE-OR-DIR...";
-  if !self_test then run_self_test ();
-  let files = List.concat_map (gather []) (List.rev !paths) in
+  if !self_test then exit (Syntactic.run_self_test ());
+  let files = List.concat_map (fun p -> Syntactic.gather [] p) (List.rev !paths) in
   if files = [] then begin
     prerr_endline "treaty-lint: no .ml files to check";
     exit 2
   end;
-  let violations = List.concat_map lint_file files in
-  let allows = if !allowlist = "" then [] else load_allowlist !allowlist in
-  let remaining = List.filter (fun v -> not (allowed allows v)) violations in
-  List.iter
-    (fun v -> Printf.printf "%s:%d: [%s] %s\n" v.file v.line v.rule v.message)
-    remaining;
-  let unused = List.filter (fun a -> not a.used) allows in
-  List.iter
-    (fun a ->
-      Printf.printf
-        "%s: [allowlist] unused entry (rule %s) — remove it or fix the path\n"
-        a.suffix a.a_rule)
-    unused;
-  let bad = remaining <> [] || unused <> [] in
-  if !expect_fail then
-    if remaining <> [] then begin
-      Printf.printf "treaty-lint: violations found, as expected\n";
-      exit 0
-    end
-    else begin
-      prerr_endline "treaty-lint: --expect-fail but the input is clean";
-      exit 1
-    end
-  else begin
-    Printf.printf "treaty-lint: %d file(s), %d violation(s), %d allowlisted\n"
-      (List.length files) (List.length remaining)
-      (List.length violations - List.length remaining);
-    exit (if bad then 1 else 0)
-  end
+  let violations = List.concat_map Syntactic.lint_file files in
+  let allows =
+    if !allowlist = "" then []
+    else
+      Diag.load_allowlist !allowlist
+      |> List.filter (fun (a : Diag.allow) ->
+             List.mem a.a_rule Syntactic.rules
+             && List.exists
+                  (fun file -> String.ends_with ~suffix:a.suffix file)
+                  files)
+  in
+  exit
+    (Diag.finish ~label:"treaty-lint" ~expect_fail:!expect_fail ~allows
+       ~files:(List.length files) violations)
