@@ -224,6 +224,82 @@ let crypto_ns_per_call ~batch_crypto =
           if pkts = 0 then 0. else float_of_int msgs /. float_of_int pkts ));
   !result
 
+(* Event-loop cost under the simulator's hot timer profile: every RPC arms
+   a ~50 ms timeout it almost always cancels (the call completed), while
+   short sleeps fire constantly. Each iteration is 4 queue ops — arm
+   timeout, arm sleep, fire the sleep, cancel the timeout. Under the seed
+   heap the cancelled timeouts linger as dead entries (lazy cancellation)
+   and every op pays an O(log n) sift through them; the wheel reclaims on
+   cancel and runs allocation-free. Both sides run the identical op
+   sequence from the same RNG seed. *)
+let timer_iters = 100_000
+
+let bench_wheel () =
+  let module E = Treaty_sim.Eventq in
+  let q = E.create () in
+  let rng = Treaty_sim.Rng.create 0xE7E701L in
+  let now = ref 0 and fired = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to timer_iters do
+    let timeout = E.add q ~time:(!now + 50_000_000) (fun () -> incr fired) in
+    ignore
+      (E.add q
+         ~time:(!now + 1 + Treaty_sim.Rng.int rng 30_000)
+         (fun () -> incr fired));
+    (match E.pop q with
+    | Some (t, fn) ->
+        now := t;
+        fn ()
+    | None -> assert false);
+    ignore (E.cancel q timeout)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  ignore !fired;
+  dt *. 1e9 /. float_of_int (timer_iters * 4)
+
+let bench_seed_heap () =
+  let q = Eventq_seed.create () in
+  let rng = Treaty_sim.Rng.create 0xE7E701L in
+  let now = ref 0 and fired = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to timer_iters do
+    let timeout =
+      Eventq_seed.add q ~time:(!now + 50_000_000) (fun () -> incr fired)
+    in
+    ignore
+      (Eventq_seed.add q
+         ~time:(!now + 1 + Treaty_sim.Rng.int rng 30_000)
+         (fun () -> incr fired));
+    (match Eventq_seed.pop q with
+    | Some (t, fn) ->
+        now := t;
+        fn ()
+    | None -> assert false);
+    Eventq_seed.cancel timeout
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  ignore !fired;
+  ignore (Eventq_seed.is_empty q, Eventq_seed.size q);
+  dt *. 1e9 /. float_of_int (timer_iters * 4)
+
+let run_event_loop () =
+  (* Warm both paths once so neither pays first-touch costs in the timed
+     run, then time each. *)
+  ignore (bench_wheel ());
+  ignore (bench_seed_heap ());
+  let wheel = bench_wheel () in
+  let seed = bench_seed_heap () in
+  let speedup = seed /. wheel in
+  Printf.printf
+    "  event loop ns/op (RPC-timeout profile, %d ops): timer wheel %.1f, \
+     seed heap %.1f — %.2fx\n%!"
+    (timer_iters * 4) wheel seed speedup;
+  Common.pipeline_json_set ~key:"event_loop"
+    (Printf.sprintf
+       "{ \"seed_ns_per_event\": %.1f, \"wheel_ns_per_event\": %.1f, \
+        \"speedup\": %.2f }"
+       seed wheel speedup)
+
 let run_crypto_per_txn () =
   let batched_ns, batched_mpp = crypto_ns_per_call ~batch_crypto:true in
   let unbatched_ns, unbatched_mpp = crypto_ns_per_call ~batch_crypto:false in
@@ -265,4 +341,5 @@ let run () =
     "  stabilization rounds/txn (64 concurrent txns, clog+wal): epoch-batched %.3f, per-log %.3f\n%!"
     (rounds_per_txn ~batch_logs:true)
     (rounds_per_txn ~batch_logs:false);
-  run_crypto_per_txn ()
+  run_crypto_per_txn ();
+  run_event_loop ()

@@ -1,0 +1,94 @@
+(* The event-engine stress test: a 100-node cluster under a Zipfian YCSB
+   workload over a million-key space. Nothing in the paper runs at this
+   scale — the point is the simulator itself: with 100 enclaves, their NICs,
+   RPC timeout timers and client terminals all live at once, the run is
+   dominated by event-queue and scheduler churn, and the numbers reported
+   are engine numbers: simulated events per wall-clock second, wall ns per
+   event, and GC bytes allocated per committed transaction.
+
+   The key space is NOT pre-loaded (a million puts would dwarf the
+   measurement window); keys materialize on first update and reads of
+   still-missing keys are legitimate misses. The Zipfian skew (theta 0.99)
+   keeps the hot set small, so the workload commits at a healthy rate
+   anyway. *)
+
+open Treaty_core
+module Sim = Treaty_sim.Sim
+module W = Treaty_workload
+
+let nodes = 100
+let n_keys = 1_000_000
+
+let run () =
+  Common.section
+    (Printf.sprintf "Scale: %d nodes, %dk-key Zipfian YCSB (event engine)"
+       nodes (n_keys / 1000));
+  let clients = if !Common.full_mode then 64 else 16 in
+  let duration_ns =
+    if !Common.full_mode then 1_000_000_000 else 200_000_000
+  in
+  let warmup_ns = if !Common.full_mode then 100_000_000 else 50_000_000 in
+  let ycsb =
+    {
+      W.Ycsb.default with
+      W.Ycsb.n_keys;
+      distribution = `Zipfian 0.99;
+      value_size = 100;
+    }
+  in
+  let committed = ref 0 and aborted = ref 0 in
+  let events = ref 0 and sim_ns = ref 0 in
+  let alloc_per_txn = ref 0. in
+  let t0 = Unix.gettimeofday () in
+  Common.run_sim (fun sim ->
+      let config =
+        { (Common.base_config Config.treaty_enc_stab) with Config.nodes }
+      in
+      let cluster = Common.make_cluster sim config () in
+      let a0 = Gc.allocated_bytes () in
+      let r =
+        W.Driver.run_clients cluster ~clients ~duration_ns ~warmup_ns
+          ~txn:(Common.ycsb_txn ycsb) ()
+      in
+      let a1 = Gc.allocated_bytes () in
+      Cluster.shutdown cluster;
+      committed := W.Stats.committed r.W.Driver.stats;
+      aborted := W.Stats.aborted r.W.Driver.stats;
+      events := Sim.events_fired sim;
+      sim_ns := Sim.now sim;
+      alloc_per_txn :=
+        if !committed > 0 then (a1 -. a0) /. float_of_int !committed else 0.);
+  let wall = Unix.gettimeofday () -. t0 in
+  let events_per_sec = float_of_int !events /. wall in
+  let ns_per_event = wall *. 1e9 /. float_of_int !events in
+  Printf.printf
+    "  %d nodes, %d clients, %d keys: %d committed / %d aborted in %.2fs \
+     sim\n%!"
+    nodes clients n_keys !committed !aborted
+    (float_of_int !sim_ns /. 1e9);
+  Printf.printf
+    "  engine: %d events, %.0f events/s wall, %.0f ns/event, %.0f alloc \
+     B/txn, %.1fs wall\n%!"
+    !events events_per_sec ns_per_event !alloc_per_txn wall;
+  let oc = open_out "BENCH_scale.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"scale\",\n\
+    \  \"mode\": %S,\n\
+    \  \"nodes\": %d,\n\
+    \  \"keys\": %d,\n\
+    \  \"clients\": %d,\n\
+    \  \"committed\": %d,\n\
+    \  \"aborted\": %d,\n\
+    \  \"sim_seconds\": %.3f,\n\
+    \  \"events_fired\": %d,\n\
+    \  \"events_per_sec_wall\": %.0f,\n\
+    \  \"ns_per_event_wall\": %.1f,\n\
+    \  \"alloc_bytes_per_txn\": %.0f,\n\
+    \  \"wall_seconds\": %.2f\n\
+     }\n"
+    (if !Common.full_mode then "full" else "quick")
+    nodes n_keys clients !committed !aborted
+    (float_of_int !sim_ns /. 1e9)
+    !events events_per_sec ns_per_event !alloc_per_txn wall;
+  close_out oc

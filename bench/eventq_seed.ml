@@ -1,0 +1,93 @@
+(* The pre-wheel event queue — a binary min-heap with lazy cancellation —
+   kept verbatim as the baseline side of the event-loop micro-benchmark.
+   The live tree replaced this with the hierarchical timer wheel in
+   lib/sim/eventq.ml; benchmarking against a frozen copy keeps the
+   comparison meaningful as the wheel evolves. Not linked anywhere else. *)
+
+type handle = {
+  time : int;
+  seq : int;
+  fn : unit -> unit;
+  mutable cancelled : bool;
+  owner : t;
+}
+
+(* Binary min-heap over (time, seq). Cancellation is lazy: cancelled entries
+   stay in the heap and are skipped when they reach the top. [live] counts
+   non-cancelled entries so emptiness checks stay O(1). *)
+and t = {
+  mutable heap : handle option array;
+  mutable len : int;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+let create () = { heap = Array.make 64 None; len = 0; next_seq = 0; live = 0 }
+let is_empty t = t.live = 0
+let size t = t.live
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let get t i = match t.heap.(i) with Some h -> h | None -> assert false
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less (get t i) (get t parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && less (get t l) (get t !smallest) then smallest := l;
+  if r < t.len && less (get t r) (get t !smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let heap = Array.make (2 * Array.length t.heap) None in
+  Array.blit t.heap 0 heap 0 t.len;
+  t.heap <- heap
+
+let add t ~time fn =
+  if t.len = Array.length t.heap then grow t;
+  let h = { time; seq = t.next_seq; fn; cancelled = false; owner = t } in
+  t.next_seq <- t.next_seq + 1;
+  t.heap.(t.len) <- Some h;
+  t.len <- t.len + 1;
+  t.live <- t.live + 1;
+  sift_up t (t.len - 1);
+  h
+
+let cancel h =
+  if not h.cancelled then begin
+    h.cancelled <- true;
+    h.owner.live <- h.owner.live - 1
+  end
+
+let pop_raw t =
+  if t.len = 0 then None
+  else begin
+    let h = get t 0 in
+    t.len <- t.len - 1;
+    t.heap.(0) <- t.heap.(t.len);
+    t.heap.(t.len) <- None;
+    if t.len > 0 then sift_down t 0;
+    Some h
+  end
+
+let rec pop t =
+  match pop_raw t with
+  | None -> None
+  | Some h when h.cancelled -> pop t
+  | Some h ->
+      t.live <- t.live - 1;
+      Some (h.time, h.fn)

@@ -127,7 +127,14 @@ module Attest = struct
     let b = Buffer.create 256 in
     Wire.w64 b (Erpc.node_id rpc);
     Wire.wstr b (encode_quote quote);
-    match Erpc.call rpc ~dst:cas_node ~kind:kind_attest (Buffer.contents b) with
+    (* Attestation is a bootstrap-time handshake riding IAS-scale internet
+       latencies, and at cluster sizes in the hundreds the CAS time-slices a
+       whole burst of concurrent quote verifications — so it gets its own
+       deadline, far above the data-path RPC timeout. *)
+    match
+      Erpc.call rpc ~dst:cas_node ~kind:kind_attest
+        ~timeout_ns:2_000_000_000 (Buffer.contents b)
+    with
     | Error (`Timeout | `Tampered) -> Error `Cas_unreachable
     | Ok "" -> Error `Rejected
     | Ok sealed -> (

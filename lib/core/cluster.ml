@@ -11,7 +11,11 @@ module Keys = Treaty_crypto.Keys
 module Trace = Treaty_obs.Trace
 module Metrics = Treaty_obs.Metrics
 
-let cas_id = 90
+(* The CAS's network id must stay clear of the storage-node range (ids
+   1..nodes): [Net.register] replaces handlers, so a storage node sharing the
+   CAS's id would silently swallow every attestation request. Clients live at
+   1000+, so 900 is safe for clusters up to 899 nodes. *)
+let cas_id = 900
 let code_identity = "treaty-node-v1"
 
 type slot = Live of Node.t | Crashed of Treaty_storage.Ssd.t
@@ -271,19 +275,33 @@ let create sim config ?route () =
   | Error `Ias_rejected -> Error "CAS attestation rejected by IAS"
   | Ok cas -> (
       t.cas <- Some cas;
-      (* Attest and start every storage node. *)
+      (* Attest every storage node concurrently: the handshakes are
+         independent (one bootstrap endpoint each, a shared CAS), and a
+         sequential walk would put 100-node bootstrap at ~200 ms of
+         simulated time — deep into any chaos fault schedule. Spawn order
+         is fixed, so the interleaving is a pure function of the seed.
+         Node startup stays sequential in id order below. *)
+      let results = Array.make config.nodes None in
+      let all_done = Sim.ivar () in
+      let pending = ref config.nodes in
+      for i = 0 to config.nodes - 1 do
+        Sim.spawn sim (fun () ->
+            results.(i) <- Some (attest_node t ~node_id:(i + 1));
+            decr pending;
+            if !pending = 0 then Sim.fill all_done ())
+      done;
+      Sim.read sim all_done;
       let failed = ref None in
       for i = 0 to config.nodes - 1 do
-        if !failed = None then begin
-          let node_id = i + 1 in
-          match attest_node t ~node_id with
-          | Error `Rejected -> failed := Some "node attestation rejected"
-          | Error `Cas_unreachable -> failed := Some "CAS unreachable"
-          | Ok provision ->
+        if !failed = None then
+          match results.(i) with
+          | None | Some (Error `Rejected) ->
+              failed := Some "node attestation rejected"
+          | Some (Error `Cas_unreachable) -> failed := Some "CAS unreachable"
+          | Some (Ok provision) ->
               if provision.Cas.Attest.master_secret <> master_secret then
                 failed := Some "provisioned secret mismatch"
-              else t.nodes.(i) <- Live (Node.create (deps_of t ~node_id))
-        end
+              else t.nodes.(i) <- Live (Node.create (deps_of t ~node_id:(i + 1)))
       done;
       match !failed with Some m -> Error m | None -> Ok t)
 

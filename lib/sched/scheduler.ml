@@ -1,3 +1,40 @@
+(* Growable ring buffer of thunks: the run-queue primitive. Unlike
+   [Queue.t] there is no per-push cell allocation — the hot scheduling path
+   (suspend/resume per RPC, per lock wait, per sleep) costs an array store
+   and two index updates. *)
+module Fring = struct
+  type t = {
+    mutable buf : (unit -> unit) array;
+    mutable head : int;
+    mutable len : int;
+  }
+
+  let nop () = ()
+  let create () = { buf = Array.make 64 nop; head = 0; len = 0 }
+  let is_empty q = q.len = 0
+
+  let push q f =
+    let cap = Array.length q.buf in
+    if q.len = cap then begin
+      let buf = Array.make (2 * cap) nop in
+      let tail = cap - q.head in
+      Array.blit q.buf q.head buf 0 tail;
+      Array.blit q.buf 0 buf tail q.head;
+      q.buf <- buf;
+      q.head <- 0
+    end;
+    q.buf.((q.head + q.len) land (Array.length q.buf - 1)) <- f;
+    q.len <- q.len + 1
+
+  (* only call when non-empty; emptiness is always checked first *)
+  let pop q =
+    let f = q.buf.(q.head) in
+    q.buf.(q.head) <- nop;
+    q.head <- (q.head + 1) land (Array.length q.buf - 1);
+    q.len <- q.len - 1;
+    f
+end
+
 type watchdog = {
   wd_now : unit -> int;
   wd_threshold : int;
@@ -31,11 +68,14 @@ type profiler = {
 }
 
 type t = {
-  runq : (unit -> unit) Queue.t;
+  runq : Fring.t;
   mutable live : int;
   mutable next_fiber : int;
   mutable watchdog : watchdog option;
   mutable profiler : profiler option;
+  mutable tracking : bool;
+      (* true iff a watchdog or profiler is installed: the suspend/resume
+         hot path pays exactly this one branch when observability is off *)
   (* fiber id -> (label, suspended-at) for parked fibers, maintained only
      while a watchdog or profiler is installed. *)
   suspended : (int, string * int) Hashtbl.t;
@@ -48,21 +88,24 @@ type _ Effect.t +=
 
 let create () =
   {
-    runq = Queue.create ();
+    runq = Fring.create ();
     live = 0;
     next_fiber = 0;
     watchdog = None;
     profiler = None;
+    tracking = false;
     suspended = Hashtbl.create 32;
     flagged = Hashtbl.create 8;
   }
 
 let set_watchdog t ~now ~threshold ~report =
-  t.watchdog <- Some { wd_now = now; wd_threshold = threshold; wd_report = report }
+  t.watchdog <- Some { wd_now = now; wd_threshold = threshold; wd_report = report };
+  t.tracking <- true
 
 let set_profiler t ~now =
   t.profiler <-
-    Some { pr_now = now; per_label = Hashtbl.create 16; active = Hashtbl.create 64 }
+    Some { pr_now = now; per_label = Hashtbl.create 16; active = Hashtbl.create 64 };
+  t.tracking <- true
 
 let agg_for pr label =
   let label = if label = "" then "anon" else label in
@@ -111,15 +154,13 @@ let track_finish t id label =
           a.a_run_ns <- a.a_run_ns + (pr.pr_now () - started - !parked))
 
 let track_suspend t id label =
-  let tracked = t.watchdog <> None || t.profiler <> None in
-  if tracked then
-    let now =
-      match (t.watchdog, t.profiler) with
-      | Some wd, _ -> wd.wd_now ()
-      | None, Some pr -> pr.pr_now ()
-      | None, None -> 0
-    in
-    Hashtbl.replace t.suspended id (label, now)
+  let now =
+    match (t.watchdog, t.profiler) with
+    | Some wd, _ -> wd.wd_now ()
+    | None, Some pr -> pr.pr_now ()
+    | None, None -> 0
+  in
+  Hashtbl.replace t.suspended id (label, now)
 
 let track_resume t id =
   (match t.profiler with
@@ -135,10 +176,8 @@ let track_resume t id =
           (match Hashtbl.find_opt pr.active id with
           | Some (_, parked) -> parked := !parked + parked_ns
           | None -> ())));
-  if t.watchdog <> None || t.profiler <> None then begin
-    Hashtbl.remove t.suspended id;
-    Hashtbl.remove t.flagged id
-  end
+  Hashtbl.remove t.suspended id;
+  Hashtbl.remove t.flagged id
 
 let watchdog_scan t =
   match t.watchdog with
@@ -168,14 +207,14 @@ let handler t ~id ~label =
         | Yield _ ->
             Some
               (fun (k : (a, unit) continuation) ->
-                Queue.push (fun () -> continue k ()) t.runq)
+                Fring.push t.runq (fun () -> continue k ()))
         | Suspend (_, register) ->
             Some
               (fun (k : (a, unit) continuation) ->
-                track_suspend t id label;
+                if t.tracking then track_suspend t id label;
                 register (fun () ->
-                    track_resume t id;
-                    Queue.push (fun () -> continue k ()) t.runq))
+                    if t.tracking then track_resume t id;
+                    Fring.push t.runq (fun () -> continue k ())))
         | _ -> None);
   }
 
@@ -184,14 +223,14 @@ let spawn ?(label = "") t f =
   t.next_fiber <- t.next_fiber + 1;
   let id = t.next_fiber in
   track_spawn t id label;
-  Queue.push (fun () -> Effect.Deep.match_with f () (handler t ~id ~label)) t.runq
+  Fring.push t.runq (fun () -> Effect.Deep.match_with f () (handler t ~id ~label))
 
 let yield t = Effect.perform (Yield t)
 let suspend t register = Effect.perform (Suspend (t, register))
 
 let run_pending t =
-  while not (Queue.is_empty t.runq) do
-    (Queue.pop t.runq) ()
+  while not (Fring.is_empty t.runq) do
+    (Fring.pop t.runq) ()
   done
 
 let live_fibers t = t.live
@@ -238,7 +277,7 @@ module Lanes = struct
   type lanes = {
     sched : t;
     label : string;
-    queues : (unit -> unit) Queue.t array;
+    queues : Fring.t array;
     (* A lane's drain fiber exists only while its queue is non-empty, so idle
        lanes cost nothing and never trip the starvation watchdog. *)
     active : bool array;
@@ -249,25 +288,26 @@ module Lanes = struct
     {
       sched;
       label;
-      queues = Array.init shards (fun _ -> Queue.create ());
+      queues = Array.init shards (fun _ -> Fring.create ());
       active = Array.make shards false;
     }
 
   let shards l = Array.length l.queues
 
   let rec drain l i () =
-    match Queue.pop l.queues.(i) with
-    | exception Queue.Empty -> l.active.(i) <- false
-    | job ->
-        (try job ()
-         with e ->
-           l.active.(i) <- false;
-           raise e);
-        drain l i ()
+    if Fring.is_empty l.queues.(i) then l.active.(i) <- false
+    else begin
+      let job = Fring.pop l.queues.(i) in
+      (try job ()
+       with e ->
+         l.active.(i) <- false;
+         raise e);
+      drain l i ()
+    end
 
   let submit l i job =
     let i = i mod Array.length l.queues in
-    Queue.push job l.queues.(i);
+    Fring.push l.queues.(i) job;
     if not l.active.(i) then begin
       l.active.(i) <- true;
       spawn ~label:l.label l.sched (drain l i)

@@ -45,9 +45,16 @@ let after t ~ns fn = at t ~time:(t.clock + ns) fn
 
 let sleep t ns =
   if ns > 0 then
+    (* The waker is already [unit -> unit]: ride the pooled timer record
+       directly instead of wrapping it in a fresh closure. *)
     Scheduler.suspend t.scheduler (fun waker ->
-        ignore (after t ~ns (fun () -> waker ())))
+        ignore (Eventq.add t.events ~time:(t.clock + ns) waker))
   else yield t
+
+let events_fired t = Eventq.fired t.events
+let events_live t = Eventq.size t.events
+let events_allocated t = Eventq.allocated t.events
+let events_stamp t = Eventq.stamp t.events
 
 let run t main =
   spawn t main;
@@ -75,11 +82,22 @@ let try_fill iv v = Scheduler.Ivar.try_fill iv v
 let read t iv = Scheduler.Ivar.read t.scheduler iv
 
 let read_timeout t ~ns iv =
-  let out = Scheduler.Ivar.create () in
-  let timer = after t ~ns (fun () -> ignore (Scheduler.Ivar.try_fill out None)) in
-  Scheduler.Ivar.on_fill iv (fun v ->
-      if Scheduler.Ivar.try_fill out (Some v) then Eventq.cancel timer);
-  Scheduler.Ivar.read t.scheduler out
+  match Scheduler.Ivar.peek iv with
+  | Some _ as v -> v
+  | None ->
+      let result = ref None in
+      Scheduler.suspend t.scheduler (fun waker ->
+          let timer = Eventq.add t.events ~time:(t.clock + ns) waker in
+          Scheduler.Ivar.on_fill iv (fun v ->
+              (* Cancel returning true means the timer had not fired: this
+                 fill wins the race and must wake the fiber itself. A false
+                 return means the timeout already ran — the fiber resumed
+                 with [None] and the pooled record is long reclaimed. *)
+              if Eventq.cancel t.events timer then begin
+                result := Some v;
+                waker ()
+              end));
+      !result
 
 module Resource = struct
   type resource = {

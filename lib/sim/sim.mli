@@ -56,8 +56,23 @@ val try_fill : 'a ivar -> 'a -> bool
 val read : t -> 'a ivar -> 'a
 
 val read_timeout : t -> ns:int -> 'a ivar -> 'a option
-(** Wait for the ivar, giving up after [ns] simulated nanoseconds. The timer
-    is cancelled if the ivar fills first. *)
+(** Wait for the ivar, giving up after [ns] simulated nanoseconds. If the
+    ivar fills first the timer is cancelled and its pooled record reclaimed
+    immediately (timeout-heavy paths do not grow the event queue). *)
+
+val events_fired : t -> int
+(** Total events dispatched by the engine so far (the scale bench's
+    events/sec numerator). *)
+
+val events_live : t -> int
+(** Currently scheduled events. *)
+
+val events_allocated : t -> int
+(** Timer-record pool capacity; bounded by peak concurrent timers, not by
+    how many timeouts were armed and cancelled. *)
+
+val events_stamp : t -> int
+(** Monotone event-schedule counter (see {!Treaty_sim.Eventq.stamp}). *)
 
 (** A simulated multi-server resource (CPU cores, an SSD channel, a NIC):
     [capacity] concurrent holders, FIFO waiting. Models saturation: once all

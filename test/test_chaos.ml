@@ -75,6 +75,29 @@ let wire_modes_reproducible () =
   let v1_b = trace_of false in
   Alcotest.(check bool) "v1 envelope trace byte-identical" true (v1_a = v1_b)
 
+let hundred_node_trace_identity () =
+  (* The scale regime the event-engine rewrite targets: at 100 nodes the
+     timer wheel's overflow heap, slot cascades and the network's same-tick
+     delivery batches are all exercised orders of magnitude harder than in
+     the 3-node runs above — and determinism must hold just the same: two
+     runs from one seed produce byte-identical trace JSON. *)
+  let trace_of () =
+    let config =
+      { Chaos.default_config with Chaos.nodes = 100; clients = 8; trace = true }
+    in
+    (match Chaos.run_seed ~config ~seed:5 () with
+     | Ok r ->
+         Alcotest.(check bool)
+           "workload made progress" true
+           (r.Chaos.committed > 0)
+     | Error m -> Alcotest.failf "seed 5 (100 nodes): %s" m);
+    Treaty_obs.Trace.export_string ()
+  in
+  let a = trace_of () in
+  let b = trace_of () in
+  Alcotest.(check int) "trace sizes equal" (String.length a) (String.length b);
+  Alcotest.(check bool) "100-node traces byte-identical" true (a = b)
+
 let quiescent_baseline () =
   (* Leak-freedom without any faults: after a quiet period covering the
      dedup TTL and a couple of sweeps, no node may retain at-most-once
@@ -153,6 +176,8 @@ let suite =
       `Quick wire_modes_reproducible;
     Alcotest.test_case "fault-free runs drain to zero residual state" `Quick
       quiescent_baseline;
+    Alcotest.test_case "100-node same-seed traces are byte-identical" `Slow
+      hundred_node_trace_identity;
     Alcotest.test_case "50-seed fault sweep holds all invariants" `Slow
       sweep_50_seeds;
   ]

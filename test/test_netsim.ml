@@ -110,6 +110,52 @@ let capture_and_replay () =
       Sim.sleep sim 1_000_000;
       Alcotest.(check int) "replay delivered" 2 !count)
 
+let capture_ring_wraps () =
+  with_net (fun sim net ->
+      (* The capture buffer is a fixed ring: past [limit] packets it
+         overwrites the oldest in place instead of rebuilding a list per
+         delivery. Send more than [limit] and check both the window and
+         the oldest-first order. *)
+      Net.register net ~id:1 (fun _ -> ());
+      Net.register net ~id:2 (fun _ -> ());
+      Net.capture net ~limit:4;
+      for i = 1 to 7 do
+        Net.send net ~src:1 ~dst:2 (Printf.sprintf "p%d" i);
+        Sim.sleep sim 1_000_000
+      done;
+      let payloads =
+        List.map (fun p -> p.Packet.payload) (Net.captured net)
+      in
+      Alcotest.(check (list string))
+        "last [limit] packets, oldest first"
+        [ "p4"; "p5"; "p6"; "p7" ] payloads)
+
+let same_tick_batch_order () =
+  with_net (fun sim net ->
+      (* Two packets arriving on the same tick ride one delivery event but
+         must be handed to their endpoints in send order, at the same
+         simulated instant — the batch is a throughput optimization, not a
+         reordering. *)
+      let arrivals = ref [] in
+      Net.register net ~id:1 (fun _ -> ());
+      Net.register net ~id:2 (fun _ -> ());
+      Net.register net ~id:3 (fun pkt ->
+          arrivals := (Sim.now sim, pkt.Packet.payload) :: !arrivals);
+      (* same payload size + same NIC configs => same arrival tick *)
+      Net.send net ~src:1 ~dst:3 "a";
+      Net.send net ~src:2 ~dst:3 "b";
+      Sim.sleep sim 1_000_000;
+      (match List.rev !arrivals with
+      | [ (ta, "a"); (tb, "b") ] ->
+          Alcotest.(check int) "one tick, one instant" ta tb
+      | l -> Alcotest.failf "unexpected arrivals (%d)" (List.length l));
+      (* A later send must not be folded into the spent batch. *)
+      arrivals := [];
+      Net.send net ~src:1 ~dst:3 "c";
+      Sim.sleep sim 1_000_000;
+      Alcotest.(check int) "separate tick delivers alone" 1
+        (List.length !arrivals))
+
 let client_vs_fabric_nic () =
   with_net (fun sim net ->
       (* A client-NIC endpoint sees much higher latency than fabric peers. *)
@@ -133,5 +179,8 @@ let suite =
     Alcotest.test_case "crashed endpoint drops" `Quick crashed_endpoint_drops;
     Alcotest.test_case "adversary actions" `Quick adversary_actions;
     Alcotest.test_case "capture and replay" `Quick capture_and_replay;
+    Alcotest.test_case "capture ring wraps" `Quick capture_ring_wraps;
+    Alcotest.test_case "same-tick batch preserves order" `Quick
+      same_tick_batch_order;
     Alcotest.test_case "client vs fabric NIC" `Quick client_vs_fabric_nic;
   ]

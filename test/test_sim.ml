@@ -35,13 +35,115 @@ let eventq_cancel () =
   let fired = ref 0 in
   let h1 = Eventq.add q ~time:1 (fun () -> incr fired) in
   ignore (Eventq.add q ~time:2 (fun () -> incr fired));
-  Eventq.cancel h1;
-  Eventq.cancel h1 (* idempotent *);
+  Alcotest.(check bool) "cancel live" true (Eventq.cancel q h1);
+  Alcotest.(check bool) "cancel idempotent" false (Eventq.cancel q h1);
   Alcotest.(check int) "live count after cancel" 1 (Eventq.size q);
   let rec drain () = match Eventq.pop q with Some (_, f) -> f (); drain () | None -> () in
   drain ();
   Alcotest.(check int) "cancelled did not fire" 1 !fired;
   Alcotest.(check bool) "empty" true (Eventq.is_empty q)
+
+(* Randomized differential test of the timer wheel against a sorted-list
+   reference queue: interleaved add/cancel/pop with distances drawn
+   log-uniformly so every wheel level, the overflow heap, same-tick adds
+   and rotation-boundary crossings (an add whose distance fits level L but
+   whose slot lands one rotation ahead of the cursor) all occur. The
+   reference orders by (time, insertion id); the wheel must pop the exact
+   same sequence, FIFO among equal timestamps. *)
+let eventq_model () =
+  let rng = Rng.create 0xD15C0L in
+  let q = Eventq.create () in
+  (* reference: ascending (time, uid); uid is the insertion counter *)
+  let reference = ref [] in
+  let handles = Hashtbl.create 64 in
+  let uid = ref 0 in
+  let last_popped = ref (-1) in
+  let now = ref 0 in
+  let insert time u =
+    let rec go = function
+      | [] -> [ (time, u) ]
+      | (t', u') :: tl when t' < time || (t' = time && u' < u) ->
+          (t', u') :: go tl
+      | l -> (time, u) :: l
+    in
+    reference := go !reference
+  in
+  let add () =
+    let dist =
+      match Rng.int rng 10 with
+      | 0 -> 0 (* same tick *)
+      | 1 -> Rng.int rng 32 (* level 0 *)
+      | 9 -> (1 lsl 30) + Rng.int rng (1 lsl 31) (* overflow heap *)
+      | k -> Rng.int rng (1 lsl (5 * k)) (* levels 1-5 incl. boundaries *)
+    in
+    let time = !now + dist in
+    let u = !uid in
+    incr uid;
+    Hashtbl.replace handles u (Eventq.add q ~time (fun () -> last_popped := u));
+    insert time u
+  in
+  let cancel () =
+    match !reference with
+    | [] -> ()
+    | l ->
+        let victim = List.nth l (Rng.int rng (List.length l)) in
+        let _, u = victim in
+        Alcotest.(check bool)
+          "cancel live entry" true
+          (Eventq.cancel q (Hashtbl.find handles u));
+        reference := List.filter (fun e -> e <> victim) !reference
+  in
+  let pop () =
+    match (Eventq.pop q, !reference) with
+    | None, [] -> ()
+    | Some (t, fn), (rt, ru) :: rest ->
+        Alcotest.(check int) "pop time matches reference" rt t;
+        fn ();
+        Alcotest.(check int) "pop identity matches reference" ru !last_popped;
+        reference := rest;
+        now := max !now t
+    | Some _, [] -> Alcotest.fail "wheel popped but reference empty"
+    | None, _ :: _ -> Alcotest.fail "wheel empty but reference live"
+  in
+  for _ = 1 to 20_000 do
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 -> add ()
+    | 4 -> cancel ()
+    | _ -> pop ()
+  done;
+  while not (Eventq.is_empty q) do
+    pop ()
+  done;
+  Alcotest.(check (list (pair int int))) "drained together" [] !reference
+
+(* Regression for the seed queue's lazy-cancel space leak: every
+   [read_timeout] that resolves by fill used to strand a dead timer in the
+   heap until its deadline surfaced. With eager reclamation the pooled
+   record is reused immediately, so thousands of armed-and-cancelled
+   timeouts keep both the live count and the pool at a handful of cells. *)
+let read_timeout_reclaims () =
+  let sim = Sim.create () in
+  let peak_live = ref 0 in
+  Sim.run sim (fun () ->
+      for i = 1 to 5_000 do
+        let iv : int Sim.ivar = Sim.ivar () in
+        Sim.spawn sim (fun () ->
+            Sim.sleep sim 10;
+            Sim.fill iv i);
+        (match Sim.read_timeout sim ~ns:60_000_000_000 iv with
+        | Some v -> Alcotest.(check int) "filled before deadline" i v
+        | None -> Alcotest.fail "spurious timeout");
+        if Sim.events_live sim > !peak_live then
+          peak_live := Sim.events_live sim
+      done);
+  Alcotest.(check bool)
+    (Printf.sprintf "live events bounded (peak %d)" !peak_live)
+    true (!peak_live <= 8);
+  Alcotest.(check bool)
+    (Printf.sprintf "timer pool bounded (%d cells)"
+       (Sim.events_allocated sim))
+    true
+    (Sim.events_allocated sim <= 64)
 
 let rng_determinism () =
   let a = Rng.create 42L and b = Rng.create 42L in
@@ -163,6 +265,9 @@ let suite =
     Alcotest.test_case "eventq time order" `Quick eventq_order;
     Alcotest.test_case "eventq fifo at equal time" `Quick eventq_fifo_same_time;
     Alcotest.test_case "eventq cancellation" `Quick eventq_cancel;
+    Alcotest.test_case "eventq randomized model check" `Quick eventq_model;
+    Alcotest.test_case "read_timeout reclaims cancelled timers" `Quick
+      read_timeout_reclaims;
     Alcotest.test_case "rng determinism" `Quick rng_determinism;
     Alcotest.test_case "rng bounds" `Quick rng_bounds;
     Alcotest.test_case "sleep ordering" `Quick sim_sleep_ordering;
